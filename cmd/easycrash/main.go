@@ -1,0 +1,132 @@
+// Command easycrash runs the full EasyCrash workflow (§5.3 of the paper)
+// for one kernel: a baseline crash-test campaign, Spearman-based selection
+// of critical data objects, campaign-driven selection of critical code
+// regions under the runtime-overhead budget t_s, and a validation campaign
+// of the resulting persistence policy. When -mtbf and -tchk are given, the
+// recomputability threshold τ is derived from the §7 system model and the
+// resulting system-efficiency gain is reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"easycrash/internal/apps"
+	"easycrash/internal/cli"
+	"easycrash/internal/core"
+	"easycrash/internal/nvct"
+	"easycrash/internal/sysmodel"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("easycrash: ")
+
+	var (
+		kernel  = flag.String("kernel", "mg", "kernel to analyse")
+		tests   = flag.Int("tests", 200, "crash tests per campaign")
+		seed    = flag.Int64("seed", 1, "campaign seed")
+		ts      = flag.Float64("ts", 0.03, "runtime overhead budget t_s")
+		mtbf    = flag.Float64("mtbf", 0, "system MTBF in hours (0: skip the efficiency analysis)")
+		tchk    = flag.Float64("tchk", 320, "checkpoint overhead in seconds")
+		profile = flag.String("profile", "test", "problem size: test | bench")
+		cache   = flag.String("cache", "test", "cache geometry: test | paper")
+	)
+	flag.Parse()
+
+	prof, err := cli.ParseProfile(*profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	factory, err := apps.New(*kernel, prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	geom, err := cli.ParseCache(*cache)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := core.Config{
+		Ts:     *ts,
+		Tests:  *tests,
+		Seed:   *seed,
+		Tester: nvct.Config{Cache: geom},
+	}
+
+	var sysParams sysmodel.Params
+	if *mtbf > 0 {
+		sysParams = sysmodel.Params{MTBF: *mtbf * 3600, TChk: *tchk, Ts: *ts}
+		tau, err := sysmodel.Tau(sysParams)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Tau = tau
+		fmt.Printf("system model: MTBF %.1fh, T_chk %.0fs -> recomputability threshold tau = %.3f\n\n",
+			*mtbf, *tchk, tau)
+	}
+
+	res, err := core.Run(factory, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("== EasyCrash workflow for %s ==\n", res.Kernel)
+	fmt.Printf("golden run: %d iterations, %d accesses, footprint %d bytes\n",
+		res.Golden.Iters, res.Golden.MainAccesses, res.Golden.Footprint)
+
+	fmt.Printf("\nStep 1 — baseline campaign (%d tests): recomputability %.3f  [S1 %d  S2 %d  S3 %d  S4 %d]\n",
+		len(res.Baseline.Tests), res.BaselineY,
+		res.Baseline.Counts[0], res.Baseline.Counts[1], res.Baseline.Counts[2], res.Baseline.Counts[3])
+
+	fmt.Println("\nStep 2 — data-object selection (Spearman rank correlation):")
+	for _, o := range res.Objects {
+		mark := " "
+		if o.Selected {
+			mark = "*"
+		}
+		reason := o.Reason
+		if o.Selected {
+			reason = "critical"
+		}
+		fmt.Printf("  %s %-10s Rs=%+.3f  p=%.4g  %s\n", mark, o.Name, o.Rs, o.P, reason)
+	}
+	fmt.Printf("  critical data objects: %v\n", res.Critical)
+
+	fmt.Println("\nStep 3 — code-region selection (knapsack under t_s):")
+	for _, r := range res.Regions {
+		mark := " "
+		if r.Chosen {
+			mark = "*"
+		}
+		fmt.Printf("  %s R%-2d a_k=%.3f  c_k=%.3f  c_k^max=%.3f  l_k=%.4f\n",
+			mark, r.Region, r.A, r.C, r.CMax, r.Loss)
+	}
+	fmt.Printf("  persistence frequency x = %d, predicted Y' = %.3f\n", res.Frequency, res.PredictedY)
+	if cfg.Tau > 0 {
+		verdict := "meets"
+		if !res.MeetsTau {
+			verdict = "DOES NOT meet"
+		}
+		fmt.Printf("  predicted Y' %s tau = %.3f\n", verdict, cfg.Tau)
+	}
+
+	if res.Final != nil {
+		fmt.Printf("\nStep 4 — production policy validated: recomputability %.3f (baseline %.3f)\n",
+			res.Final.Recomputability(), res.BaselineY)
+	} else {
+		fmt.Println("\nStep 4 — no production policy (no region selected)")
+	}
+
+	if *mtbf > 0 && res.Final != nil {
+		sysParams.R = res.Final.Recomputability()
+		sysParams.DataBytes = float64(res.Golden.CandidateBytes)
+		base, ec, gain, err := sysmodel.Improvement(sysParams)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nsystem efficiency: %.4f without EasyCrash, %.4f with (%+.1f points)\n",
+			base, ec, 100*gain)
+	}
+}

@@ -1,0 +1,110 @@
+// Command nvct runs crash-test campaigns on a benchmark kernel, printing the
+// paper's Figure-3 style response classification and per-object
+// data-inconsistency statistics.
+//
+// Usage:
+//
+//	nvct -kernel mg -tests 200 -seed 1 [-persist u,r] [-regions 2,3]
+//	     [-every-iteration] [-frequency 2] [-verified] [-profile bench]
+//	     [-cache paper]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"easycrash/internal/apps"
+	"easycrash/internal/cli"
+	"easycrash/internal/nvct"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nvct: ")
+
+	var (
+		kernel   = flag.String("kernel", "mg", "kernel to test (see -list)")
+		list     = flag.Bool("list", false, "list kernels and exit")
+		tests    = flag.Int("tests", 200, "crash tests in the campaign")
+		seed     = flag.Int64("seed", 1, "campaign seed")
+		persist  = flag.String("persist", "", "comma-separated data objects to persist (empty: none)")
+		regions  = flag.String("regions", "", "comma-separated region ids to flush at (empty with -persist: every iteration end)")
+		everyIt  = flag.Bool("every-iteration", false, "also flush at iteration ends")
+		freq     = flag.Int64("frequency", 1, "persist every x iterations")
+		verified = flag.Bool("verified", false, "run the copy-based verified campaign variant")
+		profile  = flag.String("profile", "test", "problem size: test | bench")
+		cache    = flag.String("cache", "test", "cache geometry: test | paper")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(apps.Names(), "\n"))
+		return
+	}
+
+	prof, err := cli.ParseProfile(*profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	factory, err := apps.New(*kernel, prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	geom, err := cli.ParseCache(*cache)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := nvct.Config{Cache: geom}
+	tester, err := nvct.NewTester(factory, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := tester.Golden()
+	fmt.Printf("kernel %s: %d iterations, %d main-loop accesses, footprint %s (candidates %s), %d regions\n",
+		*kernel, g.Iters, g.MainAccesses, cli.Size(g.Footprint), cli.Size(g.CandidateBytes), g.Regions)
+
+	policy, err := cli.BuildPolicy(*persist, *regions, *everyIt, *freq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := tester.RunCampaign(policy, nvct.CampaignOpts{Tests: *tests, Seed: *seed, Verified: *verified})
+
+	fmt.Printf("\ncampaign: %d tests (seed %d, policy %s)\n", *tests, *seed, cli.DescribePolicy(policy, *verified))
+	n := float64(len(rep.Tests))
+	fmt.Printf("  S1 success, no extra iters : %4d (%.1f%%)\n", rep.Counts[nvct.S1], 100*float64(rep.Counts[nvct.S1])/n)
+	fmt.Printf("  S2 success, extra iters    : %4d (%.1f%%)\n", rep.Counts[nvct.S2], 100*float64(rep.Counts[nvct.S2])/n)
+	fmt.Printf("  S3 interruption            : %4d (%.1f%%)\n", rep.Counts[nvct.S3], 100*float64(rep.Counts[nvct.S3])/n)
+	fmt.Printf("  S4 verification fails      : %4d (%.1f%%)\n", rep.Counts[nvct.S4], 100*float64(rep.Counts[nvct.S4])/n)
+	fmt.Printf("  recomputability %.3f, success rate %.3f, avg extra iterations %.1f\n",
+		rep.Recomputability(), rep.SuccessRate(), rep.AvgExtraIters())
+
+	fmt.Println("\nper-region recomputability (c_k):")
+	rec, cnt := rep.RegionRecomputability()
+	var keys []int
+	for k := range cnt {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		fmt.Printf("  R%-2d  c=%.3f  (%d tests)\n", k, rec[k], cnt[k])
+	}
+
+	fmt.Println("\nper-object mean data-inconsistency rate at the crash:")
+	vectors := rep.InconsistencyVectors()
+	var names []string
+	for name := range vectors {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rates := vectors[name][0]
+		var sum float64
+		for _, r := range rates {
+			sum += r
+		}
+		fmt.Printf("  %-10s %.4f\n", name, sum/float64(len(rates)))
+	}
+}

@@ -1,0 +1,87 @@
+// Command predict runs the paper's §8 application-characterisation study:
+// it extracts access-pattern features from one instrumented run of each
+// kernel (no crash tests), optionally measures true recomputability with
+// quick campaigns, fits the linear model, and reports leave-one-out
+// predictions — the "predict recomputability without any crash test"
+// programme the paper sketches as the way to avoid campaign costs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"easycrash/internal/apps"
+	"easycrash/internal/cachesim"
+	"easycrash/internal/nvct"
+	"easycrash/internal/predict"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("predict: ")
+
+	var (
+		fit   = flag.Bool("fit", false, "measure recomputability with campaigns and fit/evaluate the model")
+		tests = flag.Int("tests", 60, "campaign size per kernel with -fit")
+		seed  = flag.Int64("seed", 1, "campaign seed")
+	)
+	flag.Parse()
+
+	names := apps.Names()
+	feats := make([]predict.Features, len(names))
+	fmt.Printf("%-9s %10s %8s %10s %6s\n", "bench", "dirty@end", "rmw", "rewrite", "conv")
+	for i, name := range names {
+		factory, err := apps.New(name, apps.ProfileTest)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := predict.Characterize(factory, cachesim.Config{}, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		feats[i] = f
+		fmt.Printf("%-9s %10.3f %8.3f %10.3f %6.0f\n",
+			name, f.DirtyAtIterEnd, f.RMWStoreFrac, f.RewriteCoverage, f.Convergent)
+	}
+
+	if !*fit {
+		return
+	}
+
+	fmt.Println("\nmeasuring baseline recomputability (campaigns)...")
+	measured := make([]float64, len(names))
+	for i, name := range names {
+		factory, _ := apps.New(name, apps.ProfileTest)
+		tester, err := nvct.NewTester(factory, nvct.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := tester.RunCampaign(nil, nvct.CampaignOpts{Tests: *tests, Seed: *seed})
+		measured[i] = rep.Recomputability()
+	}
+
+	fmt.Printf("\n%-9s %10s %22s\n", "bench", "measured", "predicted (leave-1-out)")
+	for i := range names {
+		var trF []predict.Features
+		var trY []float64
+		for j := range names {
+			if j != i {
+				trF = append(trF, feats[j])
+				trY = append(trY, measured[j])
+			}
+		}
+		m, err := predict.Fit(trF, trY)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s %10.2f %22.2f\n", names[i], measured[i], m.Predict(feats[i]))
+	}
+
+	full, err := predict.Fit(feats, measured)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfull-fit coefficients: intercept %.3f  dirty %.3f  rmw %.3f  rewrite %.3f  conv %.3f\n",
+		full.Coef[0], full.Coef[1], full.Coef[2], full.Coef[3], full.Coef[4])
+}

@@ -1,0 +1,58 @@
+// Command sysmodel evaluates the paper's §7 analytic emulator of a
+// large-scale HPC system under checkpoint/restart, with and without
+// EasyCrash: the Figure-10 sweep over checkpoint overheads, the Figure-11
+// sweep over system scales, and the τ threshold derivation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"easycrash/internal/sysmodel"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sysmodel: ")
+
+	var (
+		r    = flag.Float64("r", 0.82, "application recomputability with EasyCrash")
+		ts   = flag.Float64("ts", 0.015, "EasyCrash runtime overhead")
+		mtbf = flag.Float64("mtbf", 12, "system MTBF in hours")
+		data = flag.Float64("data", 500e6, "restart reload size in bytes")
+	)
+	flag.Parse()
+
+	fmt.Printf("operating point: R=%.2f ts=%.3f data=%.0fMB\n\n", *r, *ts, *data/1e6)
+
+	fmt.Printf("Figure 10 — efficiency vs checkpoint overhead (MTBF %.0fh):\n", *mtbf)
+	fmt.Printf("  %-10s %-12s %-12s %-8s %-6s\n", "T_chk", "baseline", "easycrash", "gain", "tau")
+	for _, tchk := range sysmodel.CheckpointOverheads() {
+		p := sysmodel.Params{MTBF: *mtbf * 3600, TChk: tchk, R: *r, Ts: *ts, DataBytes: *data}
+		base, ec, gain, err := sysmodel.Improvement(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tau, err := sysmodel.Tau(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10.0f %-12.4f %-12.4f %+-8.4f %.3f\n", tchk, base, ec, gain, tau)
+	}
+
+	fmt.Println("\nFigure 11 — efficiency vs system scale:")
+	for _, tchk := range []float64{32, 3200} {
+		fmt.Printf("  T_chk = %.0fs:\n", tchk)
+		fmt.Printf("    %-10s %-8s %-12s %-12s %-8s\n", "nodes", "MTBF", "baseline", "easycrash", "gain")
+		for _, sc := range sysmodel.Scales() {
+			p := sysmodel.Params{MTBF: sc.MTBF, TChk: tchk, R: *r, Ts: *ts, DataBytes: *data}
+			base, ec, gain, err := sysmodel.Improvement(p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("    %-10d %-8s %-12.4f %-12.4f %+.4f\n",
+				sc.Nodes, fmt.Sprintf("%.0fh", sc.MTBF/3600), base, ec, gain)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package easycrash is the public API of the EasyCrash reproduction — a
+// framework (after Ren, Wu and Li, "EasyCrash: Exploring Non-Volatility of
+// Non-Volatile Memory for High Performance Computing Under Failures",
+// IEEE CLUSTER 2020) that leverages NVM non-volatility to restart HPC
+// applications after crashes without traditional checkpoint copies, by
+// selectively flushing critical data objects at critical code regions.
+//
+// The package re-exports the building blocks:
+//
+//   - Kernels: the benchmark applications (NPB CG/MG/FT/IS/BT/LU/SP/EP,
+//     botsspar, LULESH, kmeans) instrumented for crash testing.
+//   - Tester: the NVCT crash tester — golden runs, crash campaigns,
+//     inconsistency analysis, restart and outcome classification.
+//   - Run: the EasyCrash workflow — Spearman-based data-object selection
+//     and knapsack-based code-region selection under an overhead budget.
+//   - The §7 system-efficiency model and the NVM performance model.
+//
+// A minimal session:
+//
+//	factory, _ := easycrash.NewKernel("mg", easycrash.ProfileTest)
+//	result, _ := easycrash.Run(factory, easycrash.Config{Tests: 200})
+//	fmt.Println(result.Critical, result.AchievedY())
+//
+// See the examples directory for complete programs.
+package easycrash
+
+import (
+	"easycrash/internal/apps"
+	"easycrash/internal/cachesim"
+	"easycrash/internal/ckpt"
+	"easycrash/internal/core"
+	"easycrash/internal/endurance"
+	"easycrash/internal/nvct"
+	"easycrash/internal/nvmperf"
+	"easycrash/internal/predict"
+	"easycrash/internal/sysmodel"
+)
+
+// Kernel is one benchmark application (see package apps).
+type Kernel = apps.Kernel
+
+// Factory creates fresh kernel instances.
+type Factory = apps.Factory
+
+// Profile selects a kernel problem size.
+type Profile = apps.Profile
+
+// Problem-size profiles.
+const (
+	ProfileTest  = apps.ProfileTest
+	ProfileBench = apps.ProfileBench
+)
+
+// NewKernel returns a factory for the named kernel ("cg", "mg", "ft", "is",
+// "bt", "lu", "sp", "ep", "botsspar", "lulesh", "kmeans").
+func NewKernel(name string, p Profile) (Factory, error) { return apps.New(name, p) }
+
+// KernelNames lists all kernels in the paper's Table-1 order.
+func KernelNames() []string { return apps.Names() }
+
+// Tester is the NVCT crash tester bound to one kernel's golden run.
+type Tester = nvct.Tester
+
+// TesterConfig configures the simulated machine of a Tester.
+type TesterConfig = nvct.Config
+
+// CampaignOpts configures one crash-test campaign.
+type CampaignOpts = nvct.CampaignOpts
+
+// Policy is a persistence policy (which objects to flush, where, how often).
+type Policy = nvct.Policy
+
+// Report aggregates a crash-test campaign.
+type Report = nvct.Report
+
+// Outcome classifies one crash test (S1..S4).
+type Outcome = nvct.Outcome
+
+// Crash-test outcomes (Figure 3).
+const (
+	S1 = nvct.S1 // successful recomputation, no extra iterations
+	S2 = nvct.S2 // successful recomputation with extra iterations
+	S3 = nvct.S3 // interruption
+	S4 = nvct.S4 // verification failure
+)
+
+// NewTester performs a kernel's golden run and returns a crash tester.
+func NewTester(f Factory, cfg TesterConfig) (*Tester, error) { return nvct.NewTester(f, cfg) }
+
+// IterationPolicy persists the named objects at the end of every main-loop
+// iteration.
+func IterationPolicy(objects []string) *Policy { return nvct.IterationPolicy(objects) }
+
+// EveryRegionPolicy persists the named objects at the end of every region
+// of every iteration (the "best recomputability" reference policy).
+func EveryRegionPolicy(objects []string, regions int) *Policy {
+	return nvct.EveryRegionPolicy(objects, regions)
+}
+
+// Config parameterises the EasyCrash workflow.
+type Config = core.Config
+
+// Result is the workflow's decision record.
+type Result = core.Result
+
+// Run executes the full EasyCrash workflow (Steps 1-4 of §5.3) for a kernel.
+func Run(f Factory, cfg Config) (*Result, error) { return core.Run(f, cfg) }
+
+// RunWithTester executes the workflow against an existing tester.
+func RunWithTester(t *Tester, cfg Config) (*Result, error) { return core.RunWithTester(t, cfg) }
+
+// CacheConfig describes a simulated cache hierarchy.
+type CacheConfig = cachesim.Config
+
+// TestCacheConfig is the small, fast hierarchy the test-profile kernels are
+// scaled against.
+func TestCacheConfig() CacheConfig { return cachesim.TestConfig() }
+
+// PaperCacheConfig approximates the paper's Xeon Gold 6126 hierarchy.
+func PaperCacheConfig() CacheConfig { return cachesim.PaperConfig() }
+
+// NVMProfile prices memory-system events for the performance model.
+type NVMProfile = nvmperf.Profile
+
+// NVMProfiles returns the evaluation profiles of Figures 7-8 (DRAM, 4x/8x
+// latency, 1/6 and 1/8 bandwidth, Optane DC PMM).
+func NVMProfiles() []NVMProfile { return nvmperf.Profiles() }
+
+// SystemParams parameterises the §7 system-efficiency model.
+type SystemParams = sysmodel.Params
+
+// SystemEfficiency evaluates efficiency without and with EasyCrash and the
+// absolute gain.
+func SystemEfficiency(p SystemParams) (base, ec, gain float64, err error) {
+	return sysmodel.Improvement(p)
+}
+
+// Tau computes the recomputability threshold τ above which EasyCrash beats
+// plain checkpoint/restart at the given operating point.
+func Tau(p SystemParams) (float64, error) { return sysmodel.Tau(p) }
+
+// WritesReport compares NVM write traffic between EasyCrash and C/R.
+type WritesReport = ckpt.WritesReport
+
+// CompareWrites profiles the Figure-9 write-traffic comparison.
+func CompareWrites(t *Tester, policy *Policy, critical []string) (WritesReport, error) {
+	return ckpt.CompareWrites(t, policy, critical)
+}
+
+// Features is a kernel's access-pattern characterisation (the §8
+// crash-test-free recomputability study).
+type Features = predict.Features
+
+// PredictModel is a fitted recomputability predictor.
+type PredictModel = predict.Model
+
+// Characterize extracts a kernel's access-pattern features from one
+// instrumented run, without crash tests.
+func Characterize(f Factory, cache CacheConfig, nvmBytes uint64) (Features, error) {
+	return predict.Characterize(f, cache, nvmBytes)
+}
+
+// FitPredictor fits the linear recomputability model on characterised
+// kernels with measured recomputability.
+func FitPredictor(features []Features, measured []float64) (PredictModel, error) {
+	return predict.Fit(features, measured)
+}
+
+// NVMMedia describes a memory technology's wear characteristics.
+type NVMMedia = endurance.Media
+
+// PCMMedia returns phase-change-memory wear parameters.
+func PCMMedia() NVMMedia { return endurance.PCM() }
+
+// EnduranceComparison reports per-scheme NVM lifetimes.
+type EnduranceComparison = endurance.Comparison
+
+// CompareEndurance computes device lifetimes for the unprotected
+// application and each fault-tolerance scheme's normalized write traffic.
+func CompareEndurance(m NVMMedia, capacityBytes, baseBytesPerSecond float64, schemes []endurance.SchemeWrites) (EnduranceComparison, error) {
+	return endurance.Compare(m, capacityBytes, baseBytesPerSecond, schemes)
+}
+
+// MultiLevelParams extends the system model to two-level checkpointing.
+type MultiLevelParams = sysmodel.MultiLevelParams
+
+// MultiLevelEfficiency evaluates the two-level model with and without
+// EasyCrash.
+func MultiLevelEfficiency(p MultiLevelParams) (base, ec, gain float64, err error) {
+	return sysmodel.MultiLevelImprovement(p)
+}

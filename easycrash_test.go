@@ -1,0 +1,90 @@
+package easycrash_test
+
+import (
+	"testing"
+
+	"easycrash"
+)
+
+func TestFacadeKernels(t *testing.T) {
+	names := easycrash.KernelNames()
+	if len(names) != 11 {
+		t.Fatalf("KernelNames: %d", len(names))
+	}
+	if _, err := easycrash.NewKernel("mg", easycrash.ProfileTest); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := easycrash.NewKernel("bogus", easycrash.ProfileTest); err == nil {
+		t.Fatal("bogus kernel accepted")
+	}
+}
+
+func TestFacadeCacheConfigs(t *testing.T) {
+	if err := easycrash.TestCacheConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := easycrash.PaperCacheConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(easycrash.NVMProfiles()) < 5 {
+		t.Fatal("missing NVM profiles")
+	}
+}
+
+func TestFacadePolicies(t *testing.T) {
+	p := easycrash.IterationPolicy([]string{"u"})
+	if !p.AtIterationEnd || len(p.Objects) != 1 {
+		t.Fatalf("IterationPolicy = %+v", p)
+	}
+	q := easycrash.EveryRegionPolicy([]string{"u"}, 4)
+	if len(q.AtRegionEnds) != 4 {
+		t.Fatalf("EveryRegionPolicy = %+v", q)
+	}
+}
+
+func TestFacadeSystemModel(t *testing.T) {
+	params := easycrash.SystemParams{MTBF: 12 * 3600, TChk: 3200, R: 0.8, Ts: 0.015, DataBytes: 1e8}
+	base, ec, gain, err := easycrash.SystemEfficiency(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ec > base) || gain <= 0 {
+		t.Fatalf("base %v ec %v gain %v", base, ec, gain)
+	}
+	tau, err := easycrash.Tau(params)
+	if err != nil || tau <= 0 || tau >= 1 {
+		t.Fatalf("tau %v err %v", tau, err)
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end workflow skipped with -short")
+	}
+	factory, err := easycrash.NewKernel("lu", easycrash.ProfileTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tester, err := easycrash.NewTester(factory, easycrash.TesterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := easycrash.RunWithTester(tester, easycrash.Config{Tests: 40, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AchievedY() <= res.BaselineY {
+		t.Fatalf("EasyCrash did not improve LU: %v -> %v", res.BaselineY, res.AchievedY())
+	}
+	policy := res.Policy
+	if policy == nil {
+		policy = easycrash.IterationPolicy(res.Critical)
+	}
+	writes, err := easycrash.CompareWrites(tester, policy, res.Critical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if writes.NormalizedEasyCrash() < 1 || writes.NormalizedCkptAll() < 1 {
+		t.Fatalf("writes report %+v", writes)
+	}
+}

@@ -1,0 +1,68 @@
+// characterize demonstrates the §8 extension: estimating a kernel's
+// recomputability from one instrumented run — no crash tests — by fitting
+// the access-pattern model on the other kernels and predicting the target.
+//
+//	go run ./examples/characterize mg
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"easycrash"
+)
+
+func main() {
+	log.SetFlags(0)
+	target := "mg"
+	if len(os.Args) > 1 {
+		target = os.Args[1]
+	}
+
+	// Characterise every kernel (cheap: one golden run each).
+	var trainFeatures []easycrash.Features
+	var trainMeasured []float64
+	var targetFeatures easycrash.Features
+	for _, name := range easycrash.KernelNames() {
+		factory, err := easycrash.NewKernel(name, easycrash.ProfileTest)
+		if err != nil {
+			log.Fatal(err)
+		}
+		feats, err := easycrash.Characterize(factory, easycrash.CacheConfig{}, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if name == target {
+			targetFeatures = feats
+			continue
+		}
+		// Training labels come from quick crash campaigns on the OTHER
+		// kernels (the one-off cost the model amortises).
+		tester, err := easycrash.NewTester(factory, easycrash.TesterConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := tester.RunCampaign(nil, easycrash.CampaignOpts{Tests: 50, Seed: 12})
+		trainFeatures = append(trainFeatures, feats)
+		trainMeasured = append(trainMeasured, rep.Recomputability())
+		fmt.Printf("train %-9s measured R = %.2f  %s\n", name, rep.Recomputability(), feats)
+	}
+
+	model, err := easycrash.FitPredictor(trainFeatures, trainMeasured)
+	if err != nil {
+		log.Fatal(err)
+	}
+	predicted := model.Predict(targetFeatures)
+	fmt.Printf("\ntarget %-9s %s\n", target, targetFeatures)
+	fmt.Printf("predicted recomputability (no crash tests): %.2f\n", predicted)
+
+	// Ground truth, for the demo only.
+	factory, _ := easycrash.NewKernel(target, easycrash.ProfileTest)
+	tester, err := easycrash.NewTester(factory, easycrash.TesterConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := tester.RunCampaign(nil, easycrash.CampaignOpts{Tests: 50, Seed: 12})
+	fmt.Printf("measured recomputability (crash campaign):  %.2f\n", rep.Recomputability())
+}

@@ -1,0 +1,64 @@
+// efficiency-study sweeps the paper's §7 deployment space: for a grid of
+// failure rates and checkpoint overheads, where does EasyCrash pay off, by
+// how much, and what recomputability threshold τ must an application clear?
+//
+//	go run ./examples/efficiency-study
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"easycrash"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	mtbfs := []float64{24, 12, 6, 3} // hours
+	tchks := []float64{32, 320, 3200}
+
+	fmt.Println("efficiency gain of EasyCrash (percentage points) at R = 0.82, ts = 1.5%:")
+	fmt.Printf("%10s", "MTBF \\ Tchk")
+	for _, tchk := range tchks {
+		fmt.Printf("%10.0fs", tchk)
+	}
+	fmt.Println()
+	for _, mtbf := range mtbfs {
+		fmt.Printf("%9.0fh ", mtbf)
+		for _, tchk := range tchks {
+			_, _, gain, err := easycrash.SystemEfficiency(easycrash.SystemParams{
+				MTBF: mtbf * 3600, TChk: tchk, R: 0.82, Ts: 0.015, DataBytes: 500e6,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%+10.2f ", 100*gain)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nrecomputability threshold τ (EasyCrash must clear this to beat C/R):")
+	fmt.Printf("%10s", "MTBF \\ Tchk")
+	for _, tchk := range tchks {
+		fmt.Printf("%10.0fs", tchk)
+	}
+	fmt.Println()
+	for _, mtbf := range mtbfs {
+		fmt.Printf("%9.0fh ", mtbf)
+		for _, tchk := range tchks {
+			tau, err := easycrash.Tau(easycrash.SystemParams{
+				MTBF: mtbf * 3600, TChk: tchk, Ts: 0.015, DataBytes: 500e6,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%10.3f ", tau)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nreading: slow checkpoints and frequent failures make even modest")
+	fmt.Println("recomputability worthwhile; fast checkpoints on reliable systems demand")
+	fmt.Println("a high τ — the regime where the paper's EP and FT fall out.")
+}

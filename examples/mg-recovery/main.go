@@ -1,0 +1,56 @@
+// mg-recovery reproduces the paper's motivating characterisation (§4,
+// Figure 4) interactively: how MG's recomputability responds to persisting
+// different data objects and persisting at different code regions.
+//
+//	go run ./examples/mg-recovery
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"easycrash"
+)
+
+const tests = 100
+
+func main() {
+	log.SetFlags(0)
+
+	factory, err := easycrash.NewKernel("mg", easycrash.ProfileTest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tester, err := easycrash.NewTester(factory, easycrash.TesterConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MG golden run: %d V-cycles, %d memory accesses, residual %.3g\n\n",
+		tester.Golden().Iters, tester.Golden().MainAccesses, tester.Golden().Result[0])
+
+	run := func(label string, policy *easycrash.Policy) float64 {
+		rep := tester.RunCampaign(policy, easycrash.CampaignOpts{Tests: tests, Seed: 7})
+		fmt.Printf("  %-28s recomputability %.2f  [S1 %2d  S2 %2d  S3 %2d  S4 %2d]\n",
+			label, rep.Recomputability(), rep.Counts[0], rep.Counts[1], rep.Counts[2], rep.Counts[3])
+		return rep.Recomputability()
+	}
+
+	// Figure 4(a): which object matters?
+	fmt.Println("persisting one data object at the end of every iteration (Figure 4a):")
+	none := run("nothing (baseline)", nil)
+	u := run("u (the solution grid)", easycrash.IterationPolicy([]string{"u"}))
+	run("r (recomputed every cycle)", easycrash.IterationPolicy([]string{"r"}))
+	run("the iterator alone", easycrash.IterationPolicy([]string{"it"}))
+
+	// Figure 4(b): where does persisting u matter?
+	fmt.Println("\npersisting u at the end of a single code region (Figure 4b):")
+	for r := 0; r < 4; r++ {
+		label := [4]string{
+			"R0 pre-smoothing", "R1 residual", "R2 coarse correction", "R3 commit",
+		}[r]
+		run(label, &easycrash.Policy{Objects: []string{"u"}, AtRegionEnds: []int{r}, Frequency: 1})
+	}
+
+	fmt.Printf("\nconclusion: persisting u moves MG from %.0f%% to %.0f%% — and only the\n", 100*none, 100*u)
+	fmt.Println("commit region matters, which is exactly what EasyCrash discovers on its own.")
+}

@@ -1,0 +1,67 @@
+// Quickstart: run the complete EasyCrash workflow on one kernel and print
+// what the framework decided and what it bought.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"easycrash"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Pick the multigrid kernel at the fast test problem size.
+	factory, err := easycrash.NewKernel("mg", easycrash.ProfileTest)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run the four-step workflow: baseline crash campaign, Spearman
+	// selection of critical data objects, knapsack selection of critical
+	// code regions under a 3% overhead budget, validation campaign.
+	result, err := easycrash.Run(factory, easycrash.Config{
+		Ts:    0.03,
+		Tests: 120,
+		Seed:  42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("kernel: %s\n", result.Kernel)
+	fmt.Printf("baseline recomputability (no persistence): %.0f%%\n", 100*result.BaselineY)
+	fmt.Printf("critical data objects selected:            %v\n", result.Critical)
+	var regions []int
+	for _, r := range result.Regions {
+		if r.Chosen {
+			regions = append(regions, r.Region)
+		}
+	}
+	if len(regions) > 0 {
+		fmt.Printf("critical code regions selected:            %v (every %d iteration(s))\n",
+			regions, result.Frequency)
+	} else if result.Policy != nil {
+		fmt.Printf("persistence point selected:                iteration end (every %d iteration(s))\n",
+			result.Frequency)
+	}
+	fmt.Printf("recomputability with EasyCrash:            %.0f%%\n", 100*result.AchievedY())
+
+	// What does that recomputability buy a 100,000-node system with slow
+	// checkpoints? Feed the measured R into the paper's §7 model.
+	base, ec, gain, err := easycrash.SystemEfficiency(easycrash.SystemParams{
+		MTBF:      12 * 3600,
+		TChk:      3200,
+		R:         result.AchievedY(),
+		Ts:        0.015,
+		DataBytes: float64(result.Golden.CandidateBytes),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("system efficiency at MTBF 12h, T_chk 3200s: %.3f -> %.3f (%+.1f points)\n",
+		base, ec, 100*gain)
+}

@@ -1,0 +1,3 @@
+module easycrash
+
+go 1.22

@@ -1,0 +1,229 @@
+package apps
+
+import (
+	"easycrash/internal/mem"
+	"easycrash/internal/sim"
+)
+
+// Botsspar is the BOTS sparselu workload: blocked in-place LU factorisation
+// of a matrix of S×S blocks. Each main-loop iteration is one elimination
+// step kk, with the classic four phases as regions:
+//
+//	R0: lu0   factorise the diagonal block (in place)
+//	R1: fwd   transform the row panel U[kk][j] (in place)
+//	R2: bdiv  transform the column panel L[i][kk] (in place)
+//	R3: bmod  update the trailing submatrix A[i][j] -= L[i][kk]·U[kk][j]
+//
+// The factorisation mutates the matrix in place across steps; a per-block
+// progress directory (the task-completion tracking of a task-parallel
+// runtime) makes the trailing update idempotent under replay as long as the
+// directory and the block data are durably consistent — which is what
+// EasyCrash's flushing provides. Without it, replay on multi-step-stale
+// blocks corrupts the factors and verification fails.
+type Botsspar struct {
+	b int // blocks per dimension
+	s int // block edge
+
+	blocks mem.Object // B*B blocks of S*S doubles (candidate)
+	done   mem.Object // per-block progress directory (candidate)
+	scal   mem.Object
+	it     mem.Object
+}
+
+// NewBotsspar creates the kernel at the given profile.
+func NewBotsspar(p Profile) Kernel {
+	switch p {
+	case ProfileBench:
+		return &Botsspar{b: 20, s: 4}
+	default:
+		return &Botsspar{b: 16, s: 4}
+	}
+}
+
+// Name implements Kernel.
+func (k *Botsspar) Name() string { return "botsspar" }
+
+// Description implements Kernel.
+func (k *Botsspar) Description() string { return "Sparse linear algebra (blocked LU factorisation)" }
+
+// RegionCount implements Kernel.
+func (k *Botsspar) RegionCount() int { return 4 }
+
+// NominalIters implements Kernel: one iteration per elimination step.
+func (k *Botsspar) NominalIters() int64 { return int64(k.b) }
+
+// Convergent implements Kernel.
+func (k *Botsspar) Convergent() bool { return false }
+
+// IterObject implements Kernel.
+func (k *Botsspar) IterObject() mem.Object { return k.it }
+
+// Setup implements Kernel.
+func (k *Botsspar) Setup(m *sim.Machine) {
+	s := m.Space()
+	k.blocks = s.AllocF64("blocks", k.b*k.b*k.s*k.s, true)
+	k.done = s.AllocI64("done", k.b*k.b, true)
+	k.scal = s.AllocF64("scal", 8, true)
+	k.it = AllocIter(m)
+}
+
+// Init implements Kernel: random blocks with strongly dominant diagonal
+// blocks so the unpivoted factorisation stays stable.
+func (k *Botsspar) Init(m *sim.Machine) {
+	blocks := m.F64(k.blocks)
+	done := m.I64(k.done)
+	rng := splitmix64(223606)
+	for bi := 0; bi < k.b; bi++ {
+		for bj := 0; bj < k.b; bj++ {
+			base := k.blockBase(bi, bj)
+			for e := 0; e < k.s*k.s; e++ {
+				v := 0.4 * (rng.f64()*2 - 1)
+				if bi == bj && e%(k.s+1) == 0 {
+					v += 6.0 // dominant diagonal of the diagonal block
+				}
+				blocks.Set(base+e, v)
+			}
+			done.Set(bi*k.b+bj, -1)
+		}
+	}
+	m.F64(k.scal).Set(0, 0)
+	m.I64(k.it).Set(0, 0)
+}
+
+func (k *Botsspar) blockBase(bi, bj int) int { return (bi*k.b + bj) * k.s * k.s }
+
+// doneLU offsets the progress value for panel/diagonal phases: a block on
+// row/column kk records kk+doneLU once its elimination-step transform is
+// applied, distinguishing it from the trailing update at step kk.
+const doneLU = 1
+
+// Run implements Kernel.
+func (k *Botsspar) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
+	if maxIter > int64(k.b) {
+		maxIter = int64(k.b)
+	}
+	blocks := m.F64(k.blocks)
+	done := m.I64(k.done)
+	itv := m.I64(k.it)
+	S := k.s
+
+	m.MainLoopBegin()
+	defer m.MainLoopEnd()
+	var executed int64
+	for it := from; it < maxIter; it++ {
+		kk := int(it)
+		m.BeginIteration(it)
+
+		// R0: lu0 — unpivoted LU of the diagonal block, guarded by the
+		// progress directory so a replay never factorises twice.
+		m.BeginRegion(0)
+		diag := k.blockBase(kk, kk)
+		if done.At(kk*k.b+kk) < int64(kk)+doneLU {
+			for p := 0; p < S; p++ {
+				piv := blocks.At(diag + p*S + p)
+				for i := p + 1; i < S; i++ {
+					l := blocks.At(diag+i*S+p) / piv
+					blocks.Set(diag+i*S+p, l)
+					for j := p + 1; j < S; j++ {
+						blocks.Set(diag+i*S+j, blocks.At(diag+i*S+j)-l*blocks.At(diag+p*S+j))
+					}
+				}
+			}
+			done.Set(kk*k.b+kk, int64(kk)+doneLU)
+		}
+		m.EndRegion(0)
+
+		// R1: fwd — row panel: U[kk][j] = L(diag)^-1 A[kk][j].
+		m.BeginRegion(1)
+		for bj := kk + 1; bj < k.b; bj++ {
+			if done.At(kk*k.b+bj) >= int64(kk)+doneLU {
+				continue
+			}
+			tgt := k.blockBase(kk, bj)
+			for p := 0; p < S; p++ {
+				for i := p + 1; i < S; i++ {
+					l := blocks.At(diag + i*S + p)
+					for j := 0; j < S; j++ {
+						blocks.Set(tgt+i*S+j, blocks.At(tgt+i*S+j)-l*blocks.At(tgt+p*S+j))
+					}
+				}
+			}
+			done.Set(kk*k.b+bj, int64(kk)+doneLU)
+		}
+		m.EndRegion(1)
+
+		// R2: bdiv — column panel: L[i][kk] = A[i][kk] U(diag)^-1.
+		m.BeginRegion(2)
+		for bi := kk + 1; bi < k.b; bi++ {
+			if done.At(bi*k.b+kk) >= int64(kk)+doneLU {
+				continue
+			}
+			tgt := k.blockBase(bi, kk)
+			for j := 0; j < S; j++ {
+				pj := blocks.At(diag + j*S + j)
+				for i := 0; i < S; i++ {
+					v := blocks.At(tgt + i*S + j)
+					for p := 0; p < j; p++ {
+						v -= blocks.At(tgt+i*S+p) * blocks.At(diag+p*S+j)
+					}
+					blocks.Set(tgt+i*S+j, v/pj)
+				}
+			}
+			done.Set(bi*k.b+kk, int64(kk)+doneLU)
+		}
+		m.EndRegion(2)
+
+		// R3: bmod — trailing submatrix update, guarded by the per-block
+		// progress directory so a replay skips blocks already at step kk.
+		m.BeginRegion(3)
+		for bi := kk + 1; bi < k.b; bi++ {
+			for bj := kk + 1; bj < k.b; bj++ {
+				if done.At(bi*k.b+bj) >= int64(kk) {
+					continue // already applied (replay)
+				}
+				l := k.blockBase(bi, kk)
+				u := k.blockBase(kk, bj)
+				t := k.blockBase(bi, bj)
+				for i := 0; i < S; i++ {
+					for j := 0; j < S; j++ {
+						v := blocks.At(t + i*S + j)
+						for p := 0; p < S; p++ {
+							v -= blocks.At(l+i*S+p) * blocks.At(u+p*S+j)
+						}
+						blocks.Set(t+i*S+j, v)
+					}
+				}
+				done.Set(bi*k.b+bj, int64(kk))
+			}
+		}
+		m.EndRegion(3)
+
+		itv.Set(0, it+1)
+		m.EndIteration(it)
+		executed++
+	}
+	return executed, nil
+}
+
+// Result implements Kernel: a weighted checksum of the factors.
+func (k *Botsspar) Result(m *sim.Machine) []float64 {
+	blocks := m.F64(k.blocks)
+	var sum, asum float64
+	for i := 0; i < k.b*k.b*k.s*k.s; i += 3 {
+		v := blocks.At(i)
+		sum += v * float64(i%11+1)
+		if v < 0 {
+			asum -= v
+		} else {
+			asum += v
+		}
+	}
+	return []float64{sum, asum}
+}
+
+// Verify implements Kernel: the factorisation checksum must match the
+// reference exactly (an LU factor has no tolerance for perturbation).
+func (k *Botsspar) Verify(m *sim.Machine, golden []float64) bool {
+	got := k.Result(m)
+	return relClose(got[0], golden[0], 1e-9) && relClose(got[1], golden[1], 1e-9)
+}

@@ -1,0 +1,210 @@
+package apps
+
+import (
+	"math"
+
+	"easycrash/internal/mem"
+	"easycrash/internal/sim"
+)
+
+// Kmeans is Lloyd's k-means over a fixed point set, the Rodinia workload
+// the paper evaluates. The whole iteration is a single code region (the
+// paper's Table 1 lists one region for kmeans):
+//
+//	R0: assign every point to its nearest centroid, accumulate per-cluster
+//	    sums, recompute and commit the centroids, count changed assignments
+//
+// The points are read-only; the only meaningful cross-iteration state is
+// the tiny centroid array, which stays hot (and therefore dirty) in the
+// cache — exactly why the paper finds kmeans' critical data is 20 bytes and
+// why, without flushing, its durable copy is hopelessly stale. Restarting
+// from stale centroids still converges, just with many extra iterations
+// (Table 1 reports 18.2); with EasyCrash the replay is exact.
+type Kmeans struct {
+	n, dims, k int
+	maxIt      int64
+
+	points    mem.Object // read-only
+	centroids mem.Object // candidate: the critical 20-byte-class object
+	csums     mem.Object // per-iteration accumulators (candidates)
+	ccounts   mem.Object
+	assign    mem.Object // assignment vector (candidate)
+	scal      mem.Object // changed-count bookkeeping (candidate)
+	it        mem.Object
+}
+
+// NewKmeans creates a kmeans kernel at the given profile.
+func NewKmeans(p Profile) *Kmeans {
+	switch p {
+	case ProfileBench:
+		return &Kmeans{n: 3072, dims: 2, k: 4, maxIt: 60}
+	default:
+		return &Kmeans{n: 1536, dims: 2, k: 4, maxIt: 60}
+	}
+}
+
+// Name implements Kernel.
+func (k *Kmeans) Name() string { return "kmeans" }
+
+// Description implements Kernel.
+func (k *Kmeans) Description() string { return "Data mining (Lloyd's k-means)" }
+
+// RegionCount implements Kernel.
+func (k *Kmeans) RegionCount() int { return 1 }
+
+// NominalIters implements Kernel: the iteration budget; the golden run
+// stops when assignments stabilise.
+func (k *Kmeans) NominalIters() int64 { return k.maxIt }
+
+// Convergent implements Kernel.
+func (k *Kmeans) Convergent() bool { return true }
+
+// IterObject implements Kernel.
+func (k *Kmeans) IterObject() mem.Object { return k.it }
+
+// Setup implements Kernel.
+func (k *Kmeans) Setup(m *sim.Machine) {
+	s := m.Space()
+	k.points = s.AllocF64("points", k.n*k.dims, false)
+	k.centroids = s.AllocF64("centroids", k.k*k.dims, true)
+	k.csums = s.AllocF64("csums", k.k*k.dims, true)
+	k.ccounts = s.AllocI64("ccounts", k.k, true)
+	k.assign = s.AllocI64("assign", k.n, true)
+	k.scal = s.AllocF64("scal", 8, true)
+	k.it = AllocIter(m)
+}
+
+// Init implements Kernel: four fuzzy clusters and deliberately poor initial
+// centroids (so Lloyd's needs a good number of iterations).
+func (k *Kmeans) Init(m *sim.Machine) {
+	points, centroids := m.F64(k.points), m.F64(k.centroids)
+	csums, scal := m.F64(k.csums), m.F64(k.scal)
+	ccounts, assign := m.I64(k.ccounts), m.I64(k.assign)
+	rng := splitmix64(577215)
+	centersX := [4]float64{0, 8, 0, 8}
+	centersY := [4]float64{0, 0, 8, 8}
+	for i := 0; i < k.n; i++ {
+		c := i % 4
+		points.Set(i*k.dims, centersX[c]+3.0*(rng.f64()*2-1))
+		points.Set(i*k.dims+1, centersY[c]+3.0*(rng.f64()*2-1))
+		assign.Set(i, -1)
+	}
+	for c := 0; c < k.k; c++ {
+		// All initial centroids near the origin cluster.
+		centroids.Set(c*k.dims, 0.5*float64(c))
+		centroids.Set(c*k.dims+1, 0.25*float64(c))
+		ccounts.Set(c, 0)
+		for d := 0; d < k.dims; d++ {
+			csums.Set(c*k.dims+d, 0)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		scal.Set(i, 0)
+	}
+	m.I64(k.it).Set(0, 0)
+}
+
+// Run implements Kernel.
+func (k *Kmeans) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
+	if maxIter > 2*k.maxIt {
+		maxIter = 2 * k.maxIt
+	}
+	points, centroids := m.F64(k.points), m.F64(k.centroids)
+	csums, scal := m.F64(k.csums), m.F64(k.scal)
+	ccounts, assign := m.I64(k.ccounts), m.I64(k.assign)
+	itv := m.I64(k.it)
+
+	m.MainLoopBegin()
+	defer m.MainLoopEnd()
+	var executed int64
+	for it := from; it < maxIter; it++ {
+		m.BeginIteration(it)
+		m.BeginRegion(0)
+
+		for c := 0; c < k.k; c++ {
+			ccounts.Set(c, 0)
+			for d := 0; d < k.dims; d++ {
+				csums.Set(c*k.dims+d, 0)
+			}
+		}
+		var changed int64
+		for i := 0; i < k.n; i++ {
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k.k; c++ {
+				var dist float64
+				for d := 0; d < k.dims; d++ {
+					diff := points.At(i*k.dims+d) - centroids.At(c*k.dims+d)
+					dist += diff * diff
+				}
+				if dist < bestD {
+					best, bestD = c, dist
+				}
+			}
+			if assign.At(i) != int64(best) {
+				changed++
+				assign.Set(i, int64(best))
+			}
+			ccounts.Set(best, ccounts.At(best)+1)
+			for d := 0; d < k.dims; d++ {
+				csums.Set(best*k.dims+d, csums.At(best*k.dims+d)+points.At(i*k.dims+d))
+			}
+		}
+		for c := 0; c < k.k; c++ {
+			cnt := ccounts.At(c)
+			if cnt == 0 {
+				continue // keep the old centroid for empty clusters
+			}
+			for d := 0; d < k.dims; d++ {
+				centroids.Set(c*k.dims+d, csums.At(c*k.dims+d)/float64(cnt))
+			}
+		}
+		scal.Set(0, float64(changed))
+
+		m.EndRegion(0)
+		itv.Set(0, it+1)
+		m.EndIteration(it)
+		executed++
+		if changed == 0 {
+			break // assignments stabilised
+		}
+	}
+	return executed, nil
+}
+
+// wcss computes the within-cluster sum of squares for the current state.
+func (k *Kmeans) wcss(m *sim.Machine) float64 {
+	points, centroids := m.F64(k.points), m.F64(k.centroids)
+	assign := m.I64(k.assign)
+	var total float64
+	for i := 0; i < k.n; i++ {
+		c := int(assign.At(i))
+		if c < 0 || c >= k.k {
+			return math.Inf(1)
+		}
+		for d := 0; d < k.dims; d++ {
+			diff := points.At(i*k.dims+d) - centroids.At(c*k.dims+d)
+			total += diff * diff
+		}
+	}
+	return total
+}
+
+// Result implements Kernel: converged flag and clustering quality.
+func (k *Kmeans) Result(m *sim.Machine) []float64 {
+	return []float64{m.F64(k.scal).At(0), k.wcss(m)}
+}
+
+// Verify implements Kernel: the clustering must have converged (no
+// assignment changes in the final iteration) and its quality must be within
+// a fidelity threshold of the reference — a degenerate local optimum from a
+// badly corrupted restart fails.
+func (k *Kmeans) Verify(m *sim.Machine, golden []float64) bool {
+	got := k.Result(m)
+	if got[0] != 0 {
+		return false // did not converge
+	}
+	if math.IsNaN(got[1]) || math.IsInf(got[1], 0) {
+		return false
+	}
+	return got[1] <= golden[1]*1.05
+}

@@ -1,0 +1,195 @@
+package apps
+
+import (
+	"math"
+
+	"easycrash/internal/mem"
+	"easycrash/internal/sim"
+)
+
+// LU is a simplified NPB-LU: an SSOR (symmetric successive over-relaxation)
+// sweep over a 3-D grid with two coupled components per cell. Regions:
+//
+//	R0: residual        rsd = frct - A u
+//	R1: lower sweep     forward Gauss-Seidel pass over rsd (in place)
+//	R2: upper sweep     backward Gauss-Seidel pass over rsd (in place)
+//	R3: update          u += ω·rsd  (in-place, non-idempotent)
+//
+// The in-place += update is why the paper finds LU cannot restart without
+// persistence (its verification fails): any partially applied update that
+// leaked to NVM is applied twice on replay. Flushing u at iteration ends
+// repairs every crash outside the update region.
+type LU struct {
+	n   int // grid edge
+	m   int // components per cell
+	nit int64
+
+	u, rsd, frct mem.Object
+	scal         mem.Object
+	it           mem.Object
+}
+
+// NewLU creates an LU kernel at the given profile.
+func NewLU(p Profile) *LU {
+	switch p {
+	case ProfileBench:
+		return &LU{n: 14, m: 2, nit: 10}
+	default:
+		return &LU{n: 10, m: 2, nit: 10}
+	}
+}
+
+// Name implements Kernel.
+func (k *LU) Name() string { return "lu" }
+
+// Description implements Kernel.
+func (k *LU) Description() string { return "Dense linear algebra (SSOR solver)" }
+
+// RegionCount implements Kernel.
+func (k *LU) RegionCount() int { return 4 }
+
+// NominalIters implements Kernel.
+func (k *LU) NominalIters() int64 { return k.nit }
+
+// Convergent implements Kernel.
+func (k *LU) Convergent() bool { return false }
+
+// IterObject implements Kernel.
+func (k *LU) IterObject() mem.Object { return k.it }
+
+func (k *LU) cells() int { return k.n * k.n * k.n }
+
+// Setup implements Kernel.
+func (k *LU) Setup(m *sim.Machine) {
+	s := m.Space()
+	k.u = s.AllocF64("u", k.cells()*k.m, true)
+	k.rsd = s.AllocF64("rsd", k.cells()*k.m, true)
+	k.frct = s.AllocF64("frct", k.cells()*k.m, false) // forcing term, read-only
+	k.scal = s.AllocF64("scal", 8, true)
+	k.it = AllocIter(m)
+}
+
+// Init implements Kernel.
+func (k *LU) Init(m *sim.Machine) {
+	u, rsd, frct := m.F64(k.u), m.F64(k.rsd), m.F64(k.frct)
+	scal := m.F64(k.scal)
+	rng := splitmix64(141421)
+	for i := 0; i < k.cells()*k.m; i++ {
+		u.Set(i, 0)
+		rsd.Set(i, 0)
+		frct.Set(i, rng.f64()*2-1)
+	}
+	for i := 0; i < 8; i++ {
+		scal.Set(i, 0)
+	}
+	m.I64(k.it).Set(0, 0)
+}
+
+func (k *LU) idx(x, y, z, c int) int { return ((z*k.n+y)*k.n+x)*k.m + c }
+
+// Run implements Kernel.
+func (k *LU) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
+	if maxIter > k.nit {
+		maxIter = k.nit
+	}
+	u, rsd, frct := m.F64(k.u), m.F64(k.rsd), m.F64(k.frct)
+	scal := m.F64(k.scal)
+	itv := m.I64(k.it)
+	n := k.n
+
+	m.MainLoopBegin()
+	defer m.MainLoopEnd()
+	var executed int64
+	for it := from; it < maxIter; it++ {
+		m.BeginIteration(it)
+
+		// R0: residual rsd = frct - A u with component coupling.
+		m.BeginRegion(0)
+		for z := 1; z < n-1; z++ {
+			for y := 1; y < n-1; y++ {
+				for x := 1; x < n-1; x++ {
+					for c := 0; c < k.m; c++ {
+						ctr := u.At(k.idx(x, y, z, c))
+						nb := u.At(k.idx(x-1, y, z, c)) + u.At(k.idx(x+1, y, z, c)) +
+							u.At(k.idx(x, y-1, z, c)) + u.At(k.idx(x, y+1, z, c)) +
+							u.At(k.idx(x, y, z-1, c)) + u.At(k.idx(x, y, z+1, c))
+						couple := 0.1 * u.At(k.idx(x, y, z, 1-c))
+						rsd.Set(k.idx(x, y, z, c), frct.At(k.idx(x, y, z, c))-(6.4*ctr-nb+couple))
+					}
+				}
+			}
+		}
+		m.EndRegion(0)
+
+		// R1: lower-triangular (forward) Gauss-Seidel sweep on rsd.
+		m.BeginRegion(1)
+		for z := 1; z < n-1; z++ {
+			for y := 1; y < n-1; y++ {
+				for x := 1; x < n-1; x++ {
+					for c := 0; c < k.m; c++ {
+						prev := rsd.At(k.idx(x-1, y, z, c)) + rsd.At(k.idx(x, y-1, z, c)) +
+							rsd.At(k.idx(x, y, z-1, c))
+						rsd.Set(k.idx(x, y, z, c), (rsd.At(k.idx(x, y, z, c))+prev)/6.4)
+					}
+				}
+			}
+		}
+		m.EndRegion(1)
+
+		// R2: upper-triangular (backward) sweep on rsd.
+		m.BeginRegion(2)
+		for z := n - 2; z >= 1; z-- {
+			for y := n - 2; y >= 1; y-- {
+				for x := n - 2; x >= 1; x-- {
+					for c := 0; c < k.m; c++ {
+						next := rsd.At(k.idx(x+1, y, z, c)) + rsd.At(k.idx(x, y+1, z, c)) +
+							rsd.At(k.idx(x, y, z+1, c))
+						rsd.Set(k.idx(x, y, z, c), rsd.At(k.idx(x, y, z, c))+next/6.4)
+					}
+				}
+			}
+		}
+		m.EndRegion(2)
+
+		// R3: in-place over-relaxed update of u, plus the residual norm.
+		m.BeginRegion(3)
+		const omega = 0.9
+		var norm float64
+		for z := 1; z < n-1; z++ {
+			for y := 1; y < n-1; y++ {
+				for x := 1; x < n-1; x++ {
+					for c := 0; c < k.m; c++ {
+						d := rsd.At(k.idx(x, y, z, c))
+						u.Set(k.idx(x, y, z, c), u.At(k.idx(x, y, z, c))+omega*d)
+						norm += d * d
+					}
+				}
+			}
+		}
+		scal.Set(0, math.Sqrt(norm))
+		m.EndRegion(3)
+
+		itv.Set(0, it+1)
+		m.EndIteration(it)
+		executed++
+	}
+	return executed, nil
+}
+
+// Result implements Kernel: the final sweep norm and a solution checksum.
+func (k *LU) Result(m *sim.Machine) []float64 {
+	u := m.F64(k.u)
+	scal := m.F64(k.scal)
+	var sum float64
+	for i := 0; i < k.cells()*k.m; i += 3 {
+		sum += u.At(i) * float64(i%7+1)
+	}
+	return []float64{scal.At(0), sum}
+}
+
+// Verify implements Kernel: NPB-style strict verification against the
+// reference norms.
+func (k *LU) Verify(m *sim.Machine, golden []float64) bool {
+	got := k.Result(m)
+	return relClose(got[0], golden[0], 1e-9) && relClose(got[1], golden[1], 1e-9)
+}

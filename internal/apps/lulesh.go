@@ -1,0 +1,224 @@
+package apps
+
+import (
+	"math"
+
+	"easycrash/internal/mem"
+	"easycrash/internal/sim"
+)
+
+// LULESH is a 1-D Lagrangian shock-hydrodynamics proxy of LLNL's LULESH
+// (a Sod shock tube): explicit time integration of positions, velocities
+// and internal energy with an artificial-viscosity term and a Courant-
+// limited adaptive time step. Regions per time step:
+//
+//	R0: EOS & forces    density, pressure, viscosity from (x, e); nodal forces
+//	R1: velocity update v += dt·F/m   (in place)
+//	R2: position update x += dt·v     (in place)
+//	R3: energy update   e += dt·work, new Courant dt
+//
+// All three state arrays advance in place, so replay exactness requires
+// their durable copies to be the crashed step's starting state; dt lives in
+// a hot scalar block that never leaves the cache on its own — both are what
+// EasyCrash's iteration-end flushing provides.
+type LULESH struct {
+	n   int // elements; n+1 nodes
+	nit int64
+
+	x, v, e  mem.Object // state (candidates)
+	f, p, q  mem.Object // per-step force/pressure/viscosity (rebuilt)
+	mass, mn mem.Object // element and nodal masses (read-only)
+	scal     mem.Object // dt and bookkeeping (candidate)
+	it       mem.Object
+}
+
+// NewLULESH creates the kernel at the given profile.
+func NewLULESH(p Profile) Kernel {
+	switch p {
+	case ProfileBench:
+		return &LULESH{n: 2048, nit: 20}
+	default:
+		return &LULESH{n: 512, nit: 24}
+	}
+}
+
+// Name implements Kernel.
+func (k *LULESH) Name() string { return "lulesh" }
+
+// Description implements Kernel.
+func (k *LULESH) Description() string { return "Hydrodynamics modelling (Lagrangian shock tube)" }
+
+// RegionCount implements Kernel.
+func (k *LULESH) RegionCount() int { return 4 }
+
+// NominalIters implements Kernel.
+func (k *LULESH) NominalIters() int64 { return k.nit }
+
+// Convergent implements Kernel.
+func (k *LULESH) Convergent() bool { return false }
+
+// IterObject implements Kernel.
+func (k *LULESH) IterObject() mem.Object { return k.it }
+
+// Setup implements Kernel.
+func (k *LULESH) Setup(m *sim.Machine) {
+	s := m.Space()
+	k.x = s.AllocF64("x", k.n+1, true)
+	k.v = s.AllocF64("v", k.n+1, true)
+	k.e = s.AllocF64("e", k.n, true)
+	k.f = s.AllocF64("f", k.n+1, true)
+	k.p = s.AllocF64("p", k.n, true)
+	k.q = s.AllocF64("q", k.n, true)
+	k.mass = s.AllocF64("mass", k.n, false)
+	k.mn = s.AllocF64("mn", k.n+1, false)
+	k.scal = s.AllocF64("scal", 8, true)
+	k.it = AllocIter(m)
+}
+
+// Init implements Kernel: the Sod shock tube — high energy on the left.
+func (k *LULESH) Init(m *sim.Machine) {
+	x, v, e := m.F64(k.x), m.F64(k.v), m.F64(k.e)
+	f, p, q := m.F64(k.f), m.F64(k.p), m.F64(k.q)
+	mass, mn := m.F64(k.mass), m.F64(k.mn)
+	scal := m.F64(k.scal)
+	for j := 0; j <= k.n; j++ {
+		x.Set(j, float64(j)/float64(k.n))
+		v.Set(j, 0)
+		f.Set(j, 0)
+		mn.Set(j, 1.0/float64(k.n))
+	}
+	for i := 0; i < k.n; i++ {
+		if i < k.n/2 {
+			e.Set(i, 2.5)
+		} else {
+			e.Set(i, 0.25)
+		}
+		p.Set(i, 0)
+		q.Set(i, 0)
+		mass.Set(i, 1.0/float64(k.n))
+	}
+	scal.Set(0, 1e-4) // initial dt
+	m.I64(k.it).Set(0, 0)
+}
+
+// Run implements Kernel.
+func (k *LULESH) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
+	if maxIter > k.nit {
+		maxIter = k.nit
+	}
+	x, v, e := m.F64(k.x), m.F64(k.v), m.F64(k.e)
+	f, p, q := m.F64(k.f), m.F64(k.p), m.F64(k.q)
+	mass, mn := m.F64(k.mass), m.F64(k.mn)
+	scal := m.F64(k.scal)
+	itv := m.I64(k.it)
+	const gammaM1 = 0.4
+	const qcoef = 2.0
+
+	m.MainLoopBegin()
+	defer m.MainLoopEnd()
+	var executed int64
+	for it := from; it < maxIter; it++ {
+		m.BeginIteration(it)
+		dt := scal.At(0)
+		if dt <= 0 || math.IsNaN(dt) {
+			m.MainLoopEnd()
+			return executed, ErrInterrupted
+		}
+
+		// R0: EOS and nodal forces.
+		m.BeginRegion(0)
+		for i := 0; i < k.n; i++ {
+			dx := x.At(i+1) - x.At(i)
+			if dx <= 0 || math.IsNaN(dx) {
+				// An inverted element: the mesh has been corrupted.
+				m.MainLoopEnd()
+				return executed, ErrInterrupted
+			}
+			rho := mass.At(i) / dx
+			p.Set(i, gammaM1*rho*e.At(i))
+			dv := v.At(i+1) - v.At(i)
+			if dv < 0 {
+				q.Set(i, qcoef*rho*dv*dv)
+			} else {
+				q.Set(i, 0)
+			}
+		}
+		for j := 1; j < k.n; j++ {
+			f.Set(j, (p.At(j-1)+q.At(j-1))-(p.At(j)+q.At(j)))
+		}
+		f.Set(0, 0)
+		f.Set(k.n, 0)
+		m.EndRegion(0)
+
+		// R1: velocity update.
+		m.BeginRegion(1)
+		for j := 1; j < k.n; j++ {
+			v.Set(j, v.At(j)+dt*f.At(j)/mn.At(j))
+		}
+		m.EndRegion(1)
+
+		// R2: position update.
+		m.BeginRegion(2)
+		for j := 0; j <= k.n; j++ {
+			x.Set(j, x.At(j)+dt*v.At(j))
+		}
+		m.EndRegion(2)
+
+		// R3: energy update and the Courant-limited next time step.
+		m.BeginRegion(3)
+		minDt := math.Inf(1)
+		for i := 0; i < k.n; i++ {
+			dv := v.At(i+1) - v.At(i)
+			work := (p.At(i) + q.At(i)) * dv
+			en := e.At(i) - dt*work/mass.At(i)*1e-1
+			if en < 0 {
+				en = 0
+			}
+			e.Set(i, en)
+			dx := x.At(i+1) - x.At(i)
+			c := math.Sqrt(gammaM1 * en)
+			if c > 0 {
+				if cand := 0.3 * dx / c; cand < minDt {
+					minDt = cand
+				}
+			}
+		}
+		if minDt > 2.5e-4 {
+			minDt = 2.5e-4 // stability cap (reached only in the first steps)
+		}
+		scal.Set(0, minDt*0.99)
+		m.EndRegion(3)
+
+		itv.Set(0, it+1)
+		m.EndIteration(it)
+		executed++
+	}
+	return executed, nil
+}
+
+// Result implements Kernel: conserved quantities and profile checksums.
+func (k *LULESH) Result(m *sim.Machine) []float64 {
+	x, v, e := m.F64(k.x), m.F64(k.v), m.F64(k.e)
+	var etot, ksum, xs float64
+	for i := 0; i < k.n; i++ {
+		etot += e.At(i)
+	}
+	for j := 0; j <= k.n; j++ {
+		ksum += v.At(j) * v.At(j)
+		xs += x.At(j) * float64(j%7+1)
+	}
+	return []float64{etot, ksum, xs}
+}
+
+// Verify implements Kernel: the final profiles must match the reference
+// (hydrodynamics verification against known solutions, per the paper's
+// acceptance-verification discussion).
+func (k *LULESH) Verify(m *sim.Machine, golden []float64) bool {
+	got := k.Result(m)
+	for i := range got {
+		if !relClose(got[i], golden[i], 1e-9) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,258 @@
+package apps
+
+import (
+	"math"
+
+	"easycrash/internal/mem"
+	"easycrash/internal/sim"
+)
+
+// MG is a simplified NPB-MG: a two-grid multigrid solver for the 3-D Poisson
+// equation with a 7-point stencil. Its main loop has the four first-level
+// code regions the paper studies (Figure 2a / Figure 4b):
+//
+//	R0: residual       r = v - A u
+//	R1: coarse solve   full-weighting restriction of r, Jacobi relaxation
+//	R2: update         unew = smooth(u) + damped prolonged correction
+//	R3: commit         u = unew
+//
+// The solution u carries across iterations and is rewritten only in the
+// commit region, as a pure function of the previous iterate — so a restart
+// replays the crashed iteration bit-exactly if and only if the durable copy
+// of u matches the last committed generation. That is exactly the property
+// EasyCrash's selective flushing restores, and why persisting u (and
+// persisting it at the commit region R3) dominates recomputability while
+// persisting r — recomputed from u every iteration — is useless (the
+// paper's Figure 4).
+type MG struct {
+	n   int // fine grid edge (n^3 points)
+	nc  int // coarse grid edge
+	nit int64
+
+	u, unew, r, v, uc, rc mem.Object
+	it                    mem.Object
+}
+
+// NewMG creates an MG kernel at the given profile.
+func NewMG(p Profile) *MG {
+	switch p {
+	case ProfileBench:
+		return &MG{n: 22, nc: 11, nit: 12}
+	default:
+		return &MG{n: 14, nc: 7, nit: 10}
+	}
+}
+
+// Name implements Kernel.
+func (k *MG) Name() string { return "mg" }
+
+// Description implements Kernel.
+func (k *MG) Description() string { return "Structured grids (multigrid Poisson)" }
+
+// RegionCount implements Kernel.
+func (k *MG) RegionCount() int { return 4 }
+
+// NominalIters implements Kernel.
+func (k *MG) NominalIters() int64 { return k.nit }
+
+// Convergent implements Kernel: MG runs a fixed number of cycles.
+func (k *MG) Convergent() bool { return false }
+
+// IterObject implements Kernel.
+func (k *MG) IterObject() mem.Object { return k.it }
+
+// Setup implements Kernel.
+func (k *MG) Setup(m *sim.Machine) {
+	s := m.Space()
+	n3 := k.n * k.n * k.n
+	nc3 := k.nc * k.nc * k.nc
+	k.u = s.AllocF64("u", n3, true)
+	k.unew = s.AllocF64("unew", n3, true)
+	k.r = s.AllocF64("r", n3, true)
+	k.v = s.AllocF64("v", n3, false) // read-only after Init
+	k.uc = s.AllocF64("uc", nc3, true)
+	k.rc = s.AllocF64("rc", nc3, true)
+	k.it = AllocIter(m)
+}
+
+// Init implements Kernel: zero solution, sparse ±1 charges as RHS.
+func (k *MG) Init(m *sim.Machine) {
+	u, unew, r, v := m.F64(k.u), m.F64(k.unew), m.F64(k.r), m.F64(k.v)
+	uc, rc := m.F64(k.uc), m.F64(k.rc)
+	for i := 0; i < u.Len(); i++ {
+		u.Set(i, 0)
+		unew.Set(i, 0)
+		r.Set(i, 0)
+		v.Set(i, 0)
+	}
+	for i := 0; i < uc.Len(); i++ {
+		uc.Set(i, 0)
+		rc.Set(i, 0)
+	}
+	rng := splitmix64(20200923)
+	interior := k.n - 2
+	for c := 0; c < 20; c++ {
+		x := 1 + rng.intn(interior)
+		y := 1 + rng.intn(interior)
+		z := 1 + rng.intn(interior)
+		sign := 1.0
+		if c%2 == 1 {
+			sign = -1
+		}
+		v.Set(k.idx(x, y, z), sign)
+	}
+	m.I64(k.it).Set(0, 0)
+}
+
+func (k *MG) idx(x, y, z int) int  { return (z*k.n+y)*k.n + x }
+func (k *MG) idxc(x, y, z int) int { return (z*k.nc+y)*k.nc + x }
+
+// Run implements Kernel.
+func (k *MG) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
+	if maxIter > k.nit {
+		maxIter = k.nit // fixed-iteration kernel
+	}
+	u, unew, r, v := m.F64(k.u), m.F64(k.unew), m.F64(k.r), m.F64(k.v)
+	uc, rc := m.F64(k.uc), m.F64(k.rc)
+	itv := m.I64(k.it)
+	n, nc := k.n, k.nc
+
+	m.MainLoopBegin()
+	defer m.MainLoopEnd()
+	var executed int64
+	for it := from; it < maxIter; it++ {
+		m.BeginIteration(it)
+
+		// R0: residual r = v - A u (7-point Laplacian).
+		m.BeginRegion(0)
+		for z := 1; z < n-1; z++ {
+			for y := 1; y < n-1; y++ {
+				for x := 1; x < n-1; x++ {
+					c := u.At(k.idx(x, y, z))
+					nb := u.At(k.idx(x-1, y, z)) + u.At(k.idx(x+1, y, z)) +
+						u.At(k.idx(x, y-1, z)) + u.At(k.idx(x, y+1, z)) +
+						u.At(k.idx(x, y, z-1)) + u.At(k.idx(x, y, z+1))
+					r.Set(k.idx(x, y, z), v.At(k.idx(x, y, z))-(6*c-nb))
+				}
+			}
+		}
+		m.EndRegion(0)
+
+		// R1: coarse-grid solve — full-weighting restriction, then Jacobi
+		// relaxation of the coarse error equation.
+		m.BeginRegion(1)
+		for z := 1; z < nc-1; z++ {
+			for y := 1; y < nc-1; y++ {
+				for x := 1; x < nc-1; x++ {
+					fx, fy, fz := 2*x, 2*y, 2*z
+					var s float64
+					for dz := 0; dz < 2; dz++ {
+						for dy := 0; dy < 2; dy++ {
+							for dx := 0; dx < 2; dx++ {
+								s += r.At(k.idx(fx+dx, fy+dy, fz+dz))
+							}
+						}
+					}
+					rc.Set(k.idxc(x, y, z), s/8)
+					uc.Set(k.idxc(x, y, z), 0)
+				}
+			}
+		}
+		for sweep := 0; sweep < 4; sweep++ {
+			for z := 1; z < nc-1; z++ {
+				for y := 1; y < nc-1; y++ {
+					for x := 1; x < nc-1; x++ {
+						nb := uc.At(k.idxc(x-1, y, z)) + uc.At(k.idxc(x+1, y, z)) +
+							uc.At(k.idxc(x, y-1, z)) + uc.At(k.idxc(x, y+1, z)) +
+							uc.At(k.idxc(x, y, z-1)) + uc.At(k.idxc(x, y, z+1))
+						uc.Set(k.idxc(x, y, z), (4*rc.At(k.idxc(x, y, z))+nb)/6)
+					}
+				}
+			}
+		}
+		m.EndRegion(1)
+
+		// R2: fused update — weighted-Jacobi smoothing of u plus the damped
+		// prolonged coarse correction, written out of place into unew (a
+		// pure function of u, v and uc).
+		m.BeginRegion(2)
+		const (
+			omega = 0.8
+			damp  = 0.5
+		)
+		for z := 1; z < n-1; z++ {
+			for y := 1; y < n-1; y++ {
+				for x := 1; x < n-1; x++ {
+					c := u.At(k.idx(x, y, z))
+					nb := u.At(k.idx(x-1, y, z)) + u.At(k.idx(x+1, y, z)) +
+						u.At(k.idx(x, y-1, z)) + u.At(k.idx(x, y+1, z)) +
+						u.At(k.idx(x, y, z-1)) + u.At(k.idx(x, y, z+1))
+					jac := (1-omega)*c + omega*(v.At(k.idx(x, y, z))+nb)/6
+					cx, cy, cz := x/2, y/2, z/2
+					if cx >= nc-1 {
+						cx = nc - 2
+					}
+					if cy >= nc-1 {
+						cy = nc - 2
+					}
+					if cz >= nc-1 {
+						cz = nc - 2
+					}
+					unew.Set(k.idx(x, y, z), jac+damp*uc.At(k.idxc(cx, cy, cz)))
+				}
+			}
+		}
+		m.EndRegion(2)
+
+		// R3: commit unew into u.
+		m.BeginRegion(3)
+		for i := 0; i < u.Len(); i++ {
+			u.Set(i, unew.At(i))
+		}
+		m.EndRegion(3)
+
+		itv.Set(0, it+1) // bookmark the next iteration
+		m.EndIteration(it)
+		executed++
+	}
+	return executed, nil
+}
+
+// Result implements Kernel: the L2 norm of the final residual.
+func (k *MG) Result(m *sim.Machine) []float64 {
+	u, v := m.F64(k.u), m.F64(k.v)
+	n := k.n
+	var sum float64
+	for z := 1; z < n-1; z++ {
+		for y := 1; y < n-1; y++ {
+			for x := 1; x < n-1; x++ {
+				c := u.At(k.idx(x, y, z))
+				nb := u.At(k.idx(x-1, y, z)) + u.At(k.idx(x+1, y, z)) +
+					u.At(k.idx(x, y-1, z)) + u.At(k.idx(x, y+1, z)) +
+					u.At(k.idx(x, y, z-1)) + u.At(k.idx(x, y, z+1))
+				res := v.At(k.idx(x, y, z)) - (6*c - nb)
+				sum += res * res
+			}
+		}
+	}
+	return []float64{math.Sqrt(sum)}
+}
+
+// Verify implements Kernel: NPB-style strict comparison of the final
+// residual norm against the reference run.
+func (k *MG) Verify(m *sim.Machine, golden []float64) bool {
+	return relClose(k.Result(m)[0], golden[0], 1e-9)
+}
+
+// relClose reports whether got is within relative tolerance tol of want
+// (absolute when want is 0), and finite.
+func relClose(got, want, tol float64) bool {
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		return false
+	}
+	d := math.Abs(got - want)
+	if want == 0 {
+		return d <= tol
+	}
+	return d <= tol*math.Abs(want)
+}

@@ -1,0 +1,58 @@
+package apps_test
+
+// TestProbe is an interactive calibration tool for kernel authors: it runs
+// the standard policy matrix (baseline / selected objects / best /
+// verified) against one kernel and prints the outcome mix. Skipped unless
+// PROBE=<kernel>:<obj1,obj2,...> is set, e.g.
+//
+//	PROBE=mg:u go test ./internal/apps/ -run TestProbe -v
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"easycrash/internal/apps"
+	"easycrash/internal/nvct"
+)
+
+func TestProbe(t *testing.T) {
+	if os.Getenv("PROBE") == "" {
+		t.Skip("set PROBE=<kernel>:<objs> to run")
+	}
+	parts := strings.SplitN(os.Getenv("PROBE"), ":", 2)
+	name := parts[0]
+	objs := strings.Split(parts[1], ",")
+	f, err := apps.New(name, apps.ProfileTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	tester, err := nvct.NewTester(f, nvct.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tester.Golden()
+	fmt.Printf("golden: iters=%d accesses=%d result[0]=%.6g footprint=%dKB golden-time=%v\n",
+		g.Iters, g.MainAccesses, g.Result[0], g.Footprint/1024, time.Since(start))
+	k := f()
+	cases := []struct {
+		label  string
+		policy *nvct.Policy
+		vfy    bool
+	}{
+		{"none", nil, false},
+		{"persist-sel", nvct.IterationPolicy(objs), false},
+		{"best", nvct.EveryRegionPolicy(objs, k.RegionCount()), false},
+		{"verified", nil, true},
+	}
+	for _, tc := range cases {
+		st := time.Now()
+		rep := tester.RunCampaign(tc.policy, nvct.CampaignOpts{Tests: 40, Seed: 2, Verified: tc.vfy})
+		fmt.Printf("%-12s S1=%2d S2=%2d S3=%2d S4=%2d R=%.2f extra=%.1f (%.1fs)\n",
+			tc.label, rep.Counts[0], rep.Counts[1], rep.Counts[2], rep.Counts[3],
+			rep.Recomputability(), rep.AvgExtraIters(), time.Since(st).Seconds())
+	}
+}

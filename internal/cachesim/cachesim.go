@@ -1,0 +1,782 @@
+// Package cachesim implements the volatile cache substrate of the NVCT crash
+// tester: a multi-level, inclusive, write-back/write-allocate, LRU cache
+// hierarchy that carries data values, sitting in front of a simulated NVM
+// image. It reproduces what the paper's PIN-based simulator models:
+//
+//   - which bytes are dirty in volatile caches at an arbitrary crash point,
+//   - the write traffic that reaches NVM (evictions and explicit flushes),
+//   - the semantics of the x86 flush instructions (CLFLUSH, CLFLUSHOPT, CLWB):
+//     flushing a clean or non-resident block writes nothing back.
+//
+// The hierarchy may be configured with several cores, each with private
+// levels and a shared last-level cache, kept coherent with an
+// invalidation-based (MSI-style) protocol.
+package cachesim
+
+import "fmt"
+
+// BlockSize is the cache block size in bytes (64, as simulated in the paper).
+const BlockSize = 64
+
+const blockShift = 6
+
+// Backing is the memory the hierarchy sits in front of (the NVM image).
+type Backing interface {
+	// ReadBlock copies the block containing addr into dst (BlockSize bytes).
+	ReadBlock(addr uint64, dst []byte)
+	// WriteBlock writes one block and accounts one NVM media write.
+	WriteBlock(addr uint64, src []byte)
+}
+
+// FlushOp selects the flush-instruction semantics.
+type FlushOp int
+
+const (
+	// CLFLUSH writes back the block if dirty and invalidates it.
+	CLFLUSH FlushOp = iota
+	// CLFLUSHOPT is CLFLUSH with weaker ordering; for the simulator the
+	// state effect is the same (write back if dirty, then invalidate).
+	CLFLUSHOPT
+	// CLWB writes back the block if dirty but leaves it resident and clean.
+	CLWB
+)
+
+// String returns the instruction mnemonic.
+func (op FlushOp) String() string {
+	switch op {
+	case CLFLUSH:
+		return "CLFLUSH"
+	case CLFLUSHOPT:
+		return "CLFLUSHOPT"
+	case CLWB:
+		return "CLWB"
+	}
+	return fmt.Sprintf("FlushOp(%d)", int(op))
+}
+
+// Replacement selects a cache replacement policy. The paper simulates LRU;
+// the alternatives support ablation studies of how much the recomputability
+// results owe to replacement order (which determines when dirty blocks
+// reach NVM naturally).
+type Replacement int
+
+const (
+	// LRU evicts the least-recently-used way (the paper's policy).
+	LRU Replacement = iota
+	// FIFO evicts the oldest-inserted way regardless of reuse.
+	FIFO
+	// Random evicts a deterministically pseudo-random way.
+	Random
+)
+
+// String returns the policy name.
+func (r Replacement) String() string {
+	switch r {
+	case LRU:
+		return "lru"
+	case FIFO:
+		return "fifo"
+	case Random:
+		return "random"
+	}
+	return fmt.Sprintf("Replacement(%d)", int(r))
+}
+
+// LevelConfig describes one cache level.
+type LevelConfig struct {
+	Name string
+	Size int // bytes
+	Ways int // associativity
+}
+
+// Sets returns the number of sets in the level.
+func (lc LevelConfig) Sets() int { return lc.Size / (BlockSize * lc.Ways) }
+
+// Config describes a hierarchy. Levels are ordered closest-to-CPU first; the
+// last level is shared among cores, all earlier levels are private per core.
+type Config struct {
+	Name   string
+	Cores  int
+	Levels []LevelConfig
+	// Replace selects the replacement policy (default LRU).
+	Replace Replacement
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Cores < 1 {
+		return fmt.Errorf("cachesim: config %q: need at least 1 core", c.Name)
+	}
+	if len(c.Levels) < 1 {
+		return fmt.Errorf("cachesim: config %q: need at least 1 level", c.Name)
+	}
+	for i, l := range c.Levels {
+		if l.Ways < 1 || l.Size <= 0 || l.Size%(BlockSize*l.Ways) != 0 {
+			return fmt.Errorf("cachesim: config %q level %d (%s): size %d not a multiple of %d ways x %d bytes",
+				c.Name, i, l.Name, l.Size, l.Ways, BlockSize)
+		}
+		if i > 0 && l.Size < c.Levels[i-1].Size {
+			return fmt.Errorf("cachesim: config %q: level %d smaller than level %d (inclusion impossible)", c.Name, i, i-1)
+		}
+	}
+	return nil
+}
+
+// TestConfig is a small geometry for fast crash-test campaigns. Kernel
+// problem sizes in this repository are scaled so that footprints exceed this
+// LLC by the same ratio the paper's Class C inputs exceed a 19.25 MiB LLC.
+func TestConfig() Config {
+	return Config{
+		Name:  "test",
+		Cores: 1,
+		Levels: []LevelConfig{
+			{Name: "L1", Size: 2 << 10, Ways: 4},
+			{Name: "L2", Size: 8 << 10, Ways: 8},
+			{Name: "L3", Size: 32 << 10, Ways: 8},
+		},
+	}
+}
+
+// PaperConfig approximates the Xeon Gold 6126 geometry simulated in the paper
+// (L1 32 KiB/8-way, L2 1 MiB/12-way, LLC 19.25 MiB/11-way). The L2 size is
+// rounded down to the nearest multiple of 12 ways x 64 B (1365 sets).
+func PaperConfig() Config {
+	return Config{
+		Name:  "xeon-gold-6126",
+		Cores: 1,
+		Levels: []LevelConfig{
+			{Name: "L1", Size: 32 << 10, Ways: 8},
+			{Name: "L2", Size: 1365 * 12 * BlockSize, Ways: 12},
+			{Name: "L3", Size: 28672 * 11 * BlockSize, Ways: 11}, // 19.25 MiB
+		},
+	}
+}
+
+// Stats aggregates hierarchy event counts.
+type Stats struct {
+	Loads  uint64
+	Stores uint64
+	// Hits and Misses are per level, index 0 = closest to CPU. A private-
+	// level entry aggregates all cores.
+	Hits   []uint64
+	Misses []uint64
+	// Fills counts blocks read from backing memory (NVM reads).
+	Fills uint64
+	// EvictionWritebacks counts dirty blocks written to backing because of
+	// LLC evictions (natural cache pressure).
+	EvictionWritebacks uint64
+	// FlushOps counts block-granularity flush instructions issued.
+	FlushOps uint64
+	// DirtyFlushes counts flush ops that found a dirty resident block and
+	// therefore wrote it back to backing.
+	DirtyFlushes uint64
+	// CleanFlushes counts flush ops on clean or non-resident blocks; these
+	// cost little and write nothing (the effect EasyCrash exploits).
+	CleanFlushes uint64
+	// DrainWritebacks counts dirty blocks written back by WriteBackAll.
+	DrainWritebacks uint64
+	// Invalidations counts coherence invalidations of private copies.
+	Invalidations uint64
+}
+
+// Writebacks returns all dirty-block write-backs that reached backing memory.
+func (s *Stats) Writebacks() uint64 {
+	return s.EvictionWritebacks + s.DirtyFlushes + s.DrainWritebacks
+}
+
+// Accesses returns total demand accesses.
+func (s *Stats) Accesses() uint64 { return s.Loads + s.Stores }
+
+const (
+	stValid uint8 = 1 << 0
+	stDirty uint8 = 1 << 1
+)
+
+// cache is one tag array (data lives in the shared hierarchy block store).
+type cache struct {
+	ways    int
+	nsets   uint64
+	tags    []uint64
+	state   []uint8
+	lru     []uint64 // LRU: last-touch tick; FIFO: insertion tick
+	replace Replacement
+	rng     uint64 // xorshift state for Random replacement
+}
+
+func newCache(lc LevelConfig, replace Replacement) *cache {
+	n := lc.Sets()
+	return &cache{
+		ways:    lc.Ways,
+		nsets:   uint64(n),
+		tags:    make([]uint64, n*lc.Ways),
+		state:   make([]uint8, n*lc.Ways),
+		lru:     make([]uint64, n*lc.Ways),
+		replace: replace,
+		rng:     0x2545F4914F6CDD1D,
+	}
+}
+
+// lookup returns the way slot index for blk and whether it is resident.
+func (c *cache) lookup(blk uint64) (int, bool) {
+	base := int(blk%c.nsets) * c.ways
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.state[i]&stValid != 0 && c.tags[i] == blk {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// victimSlot returns the slot to fill for blk: an invalid way if one
+// exists, otherwise the way the replacement policy selects.
+func (c *cache) victimSlot(blk uint64) int {
+	base := int(blk%c.nsets) * c.ways
+	best, bestTick := base, ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.state[i]&stValid == 0 {
+			return i
+		}
+		if c.lru[i] < bestTick {
+			best, bestTick = i, c.lru[i]
+		}
+	}
+	if c.replace == Random {
+		c.rng ^= c.rng << 13
+		c.rng ^= c.rng >> 7
+		c.rng ^= c.rng << 17
+		return base + int(c.rng%uint64(c.ways))
+	}
+	// LRU and FIFO both evict the smallest tick; they differ in whether
+	// hits refresh it (see touch).
+	return best
+}
+
+// touch refreshes a way's recency on a hit (LRU only; FIFO and Random keep
+// insertion order).
+func (c *cache) touch(slot int, tick uint64) {
+	if c.replace == LRU {
+		c.lru[slot] = tick
+	}
+}
+
+func (c *cache) invalidateAll() {
+	for i := range c.state {
+		c.state[i] = 0
+	}
+}
+
+func (c *cache) countValid() (valid, dirty int) {
+	for _, s := range c.state {
+		if s&stValid != 0 {
+			valid++
+			if s&stDirty != 0 {
+				dirty++
+			}
+		}
+	}
+	return
+}
+
+// Hierarchy is a coherent, inclusive cache hierarchy carrying data values.
+type Hierarchy struct {
+	cfg     Config
+	nlev    int
+	npriv   int        // nlev-1
+	priv    [][]*cache // [core][level 0..npriv-1]
+	llc     *cache
+	data    map[uint64]*[BlockSize]byte // resident block values (LLC-inclusive)
+	backing Backing
+	tick    uint64
+	stats   Stats
+	tmp     [BlockSize]byte
+}
+
+// New creates a hierarchy over backing memory. It panics on invalid
+// configuration (a programming error).
+func New(cfg Config, backing Backing) *Hierarchy {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	h := &Hierarchy{
+		cfg:     cfg,
+		nlev:    len(cfg.Levels),
+		npriv:   len(cfg.Levels) - 1,
+		data:    make(map[uint64]*[BlockSize]byte),
+		backing: backing,
+	}
+	h.priv = make([][]*cache, cfg.Cores)
+	for c := range h.priv {
+		h.priv[c] = make([]*cache, h.npriv)
+		for l := 0; l < h.npriv; l++ {
+			h.priv[c][l] = newCache(cfg.Levels[l], cfg.Replace)
+		}
+	}
+	h.llc = newCache(cfg.Levels[h.nlev-1], cfg.Replace)
+	h.stats.Hits = make([]uint64, h.nlev)
+	h.stats.Misses = make([]uint64, h.nlev)
+	return h
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Stats returns a copy of the accumulated statistics.
+func (h *Hierarchy) Stats() Stats {
+	s := h.stats
+	s.Hits = append([]uint64(nil), h.stats.Hits...)
+	s.Misses = append([]uint64(nil), h.stats.Misses...)
+	return s
+}
+
+// ResetStats zeroes the statistics without touching cache state.
+func (h *Hierarchy) ResetStats() {
+	hits, misses := h.stats.Hits, h.stats.Misses
+	h.stats = Stats{Hits: hits, Misses: misses}
+	for i := range hits {
+		hits[i], misses[i] = 0, 0
+	}
+}
+
+// Load reads len(buf) bytes at addr through the cache on the given core.
+func (h *Hierarchy) Load(core int, addr uint64, buf []byte) {
+	h.stats.Loads++
+	h.split(core, addr, buf, false)
+}
+
+// Store writes len(buf) bytes at addr through the cache on the given core
+// (write-allocate: the block is brought into the cache first).
+func (h *Hierarchy) Store(core int, addr uint64, buf []byte) {
+	h.stats.Stores++
+	h.split(core, addr, buf, true)
+}
+
+func (h *Hierarchy) split(core int, addr uint64, buf []byte, store bool) {
+	for len(buf) > 0 {
+		off := int(addr & (BlockSize - 1))
+		n := BlockSize - off
+		if n > len(buf) {
+			n = len(buf)
+		}
+		h.accessBlock(core, addr>>blockShift, off, buf[:n], store)
+		addr += uint64(n)
+		buf = buf[n:]
+	}
+}
+
+func (h *Hierarchy) accessBlock(core int, blk uint64, off int, buf []byte, store bool) {
+	h.tick++
+	data := h.ensureResident(core, blk)
+	if store {
+		copy(data[off:off+len(buf)], buf)
+		// Mark dirty in the innermost level.
+		if h.npriv == 0 {
+			slot, ok := h.llc.lookup(blk)
+			if !ok {
+				panic("cachesim: stored block not resident in LLC")
+			}
+			h.llc.state[slot] |= stDirty
+		} else {
+			slot, ok := h.priv[core][0].lookup(blk)
+			if !ok {
+				panic("cachesim: stored block not resident in L1")
+			}
+			h.priv[core][0].state[slot] |= stDirty
+		}
+		if h.cfg.Cores > 1 {
+			h.invalidateOthers(core, blk)
+		}
+	} else {
+		copy(buf, data[off:off+len(buf)])
+	}
+}
+
+// ensureResident makes blk resident in every level on core's path and
+// returns its value buffer. Fill order is outermost-first so the inclusion
+// invariant holds while inner levels evict.
+func (h *Hierarchy) ensureResident(core int, blk uint64) *[BlockSize]byte {
+	// Fast path: L1 hit.
+	if h.npriv > 0 {
+		if slot, ok := h.priv[core][0].lookup(blk); ok {
+			h.priv[core][0].touch(slot, h.tick)
+			h.stats.Hits[0]++
+			return h.data[blk]
+		}
+		h.stats.Misses[0]++
+	}
+	// Find the outermost level that already has the block.
+	hitLevel := -1 // -1 means memory
+	for l := 1; l < h.npriv; l++ {
+		if slot, ok := h.priv[core][l].lookup(blk); ok {
+			h.priv[core][l].touch(slot, h.tick)
+			h.stats.Hits[l]++
+			hitLevel = l
+			break
+		}
+		h.stats.Misses[l]++
+	}
+	if hitLevel == -1 {
+		if slot, ok := h.llc.lookup(blk); ok {
+			h.llc.touch(slot, h.tick)
+			h.stats.Hits[h.nlev-1]++
+			hitLevel = h.nlev - 1
+		} else {
+			h.stats.Misses[h.nlev-1]++
+		}
+	}
+	if hitLevel == -1 {
+		// Fill from backing memory.
+		b := new([BlockSize]byte)
+		h.backing.ReadBlock(blk<<blockShift, b[:])
+		h.stats.Fills++
+		h.data[blk] = b
+		h.insertLLC(blk)
+		hitLevel = h.nlev - 1
+	}
+	// Fill private levels from hitLevel-1 down to 0 (outermost first).
+	top := hitLevel - 1
+	if hitLevel == h.nlev-1 {
+		top = h.npriv - 1
+	}
+	for l := top; l >= 0; l-- {
+		h.insertPrivate(core, l, blk)
+	}
+	return h.data[blk]
+}
+
+// insertLLC inserts blk into the shared LLC, evicting a victim if needed.
+func (h *Hierarchy) insertLLC(blk uint64) {
+	slot := h.llc.victimSlot(blk)
+	if h.llc.state[slot]&stValid != 0 {
+		h.evictLLCSlot(slot)
+	}
+	h.llc.tags[slot] = blk
+	h.llc.state[slot] = stValid
+	h.llc.lru[slot] = h.tick
+}
+
+// evictLLCSlot evicts the block in an LLC slot: back-invalidates every
+// private copy (merging dirtiness), writes the block to backing if dirty
+// anywhere, and drops its value buffer.
+func (h *Hierarchy) evictLLCSlot(slot int) {
+	victim := h.llc.tags[slot]
+	dirty := h.llc.state[slot]&stDirty != 0
+	for c := 0; c < h.cfg.Cores; c++ {
+		for l := 0; l < h.npriv; l++ {
+			if s, ok := h.priv[c][l].lookup(victim); ok {
+				if h.priv[c][l].state[s]&stDirty != 0 {
+					dirty = true
+				}
+				h.priv[c][l].state[s] = 0
+			}
+		}
+	}
+	if dirty {
+		h.backing.WriteBlock(victim<<blockShift, h.data[victim][:])
+		h.stats.EvictionWritebacks++
+	}
+	delete(h.data, victim)
+	h.llc.state[slot] = 0
+}
+
+// insertPrivate inserts blk into core's private level l, evicting the LRU
+// victim into level l+1 (which holds it by inclusion).
+func (h *Hierarchy) insertPrivate(core, l int, blk uint64) {
+	c := h.priv[core][l]
+	slot := c.victimSlot(blk)
+	if c.state[slot]&stValid != 0 {
+		victim := c.tags[slot]
+		victimDirty := c.state[slot]&stDirty != 0
+		// Back-invalidate inner levels of this core (inclusion within the
+		// private stack), merging their dirtiness into the victim's.
+		for il := 0; il < l; il++ {
+			if s, ok := h.priv[core][il].lookup(victim); ok {
+				if h.priv[core][il].state[s]&stDirty != 0 {
+					victimDirty = true
+				}
+				h.priv[core][il].state[s] = 0
+			}
+		}
+		if victimDirty {
+			h.markDirtyBelow(core, l, victim)
+		}
+		c.state[slot] = 0
+	}
+	c.tags[slot] = blk
+	c.state[slot] = stValid
+	c.lru[slot] = h.tick
+}
+
+// markDirtyBelow records that victim, evicted dirty out of core's level l,
+// is now dirty in the next level down (private l+1 or the LLC).
+func (h *Hierarchy) markDirtyBelow(core, l int, victim uint64) {
+	if l+1 < h.npriv {
+		if s, ok := h.priv[core][l+1].lookup(victim); ok {
+			h.priv[core][l+1].state[s] |= stDirty
+			return
+		}
+		panic("cachesim: inclusion violated: victim absent from next private level")
+	}
+	if s, ok := h.llc.lookup(victim); ok {
+		h.llc.state[s] |= stDirty
+		return
+	}
+	panic("cachesim: inclusion violated: victim absent from LLC")
+}
+
+// invalidateOthers removes private copies of blk held by cores other than
+// writer, transferring any dirtiness to the shared LLC line.
+func (h *Hierarchy) invalidateOthers(writer int, blk uint64) {
+	for c := 0; c < h.cfg.Cores; c++ {
+		if c == writer {
+			continue
+		}
+		for l := 0; l < h.npriv; l++ {
+			if s, ok := h.priv[c][l].lookup(blk); ok {
+				if h.priv[c][l].state[s]&stDirty != 0 {
+					if ls, ok := h.llc.lookup(blk); ok {
+						h.llc.state[ls] |= stDirty
+					}
+				}
+				h.priv[c][l].state[s] = 0
+				h.stats.Invalidations++
+			}
+		}
+	}
+}
+
+// dirtyAnywhere reports whether blk is dirty in any level of any core.
+func (h *Hierarchy) dirtyAnywhere(blk uint64) bool {
+	if s, ok := h.llc.lookup(blk); ok && h.llc.state[s]&stDirty != 0 {
+		return true
+	}
+	for c := 0; c < h.cfg.Cores; c++ {
+		for l := 0; l < h.npriv; l++ {
+			if s, ok := h.priv[c][l].lookup(blk); ok && h.priv[c][l].state[s]&stDirty != 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// cleanEverywhere clears the dirty bit of blk in every level of every core.
+func (h *Hierarchy) cleanEverywhere(blk uint64) {
+	if s, ok := h.llc.lookup(blk); ok {
+		h.llc.state[s] &^= stDirty
+	}
+	for c := 0; c < h.cfg.Cores; c++ {
+		for l := 0; l < h.npriv; l++ {
+			if s, ok := h.priv[c][l].lookup(blk); ok {
+				h.priv[c][l].state[s] &^= stDirty
+			}
+		}
+	}
+}
+
+// invalidateEverywhere removes blk from every level and drops its value.
+func (h *Hierarchy) invalidateEverywhere(blk uint64) {
+	if s, ok := h.llc.lookup(blk); ok {
+		h.llc.state[s] = 0
+	}
+	for c := 0; c < h.cfg.Cores; c++ {
+		for l := 0; l < h.npriv; l++ {
+			if s, ok := h.priv[c][l].lookup(blk); ok {
+				h.priv[c][l].state[s] = 0
+			}
+		}
+	}
+	delete(h.data, blk)
+}
+
+// FlushResult reports what one Flush call did.
+type FlushResult struct {
+	Blocks       uint64 // flush instructions issued (one per block)
+	DirtyFlushed uint64 // blocks written back to NVM
+	CleanFlushed uint64 // clean or non-resident blocks (no write)
+}
+
+// Flush issues flush instructions for every block overlapping
+// [addr, addr+size), with the given instruction semantics. This is the
+// cache_block_flush primitive of the paper's runtime: persisting an object
+// flushes all its blocks, but only dirty resident blocks cost a write-back.
+func (h *Hierarchy) Flush(addr, size uint64, op FlushOp) FlushResult {
+	var r FlushResult
+	if size == 0 {
+		return r
+	}
+	first := addr >> blockShift
+	last := (addr + size - 1) >> blockShift
+	for blk := first; blk <= last; blk++ {
+		r.Blocks++
+		h.stats.FlushOps++
+		if _, resident := h.data[blk]; !resident {
+			r.CleanFlushed++
+			h.stats.CleanFlushes++
+			continue
+		}
+		if h.dirtyAnywhere(blk) {
+			h.backing.WriteBlock(blk<<blockShift, h.data[blk][:])
+			h.stats.DirtyFlushes++
+			r.DirtyFlushed++
+			h.cleanEverywhere(blk)
+		} else {
+			r.CleanFlushed++
+			h.stats.CleanFlushes++
+		}
+		if op != CLWB {
+			h.invalidateEverywhere(blk)
+		}
+	}
+	return r
+}
+
+// WriteBackAll drains every dirty block to backing memory and cleans it,
+// leaving blocks resident. It models the system forcing full consistency
+// (used by the copy-based "verified" campaign and the C/R baseline).
+func (h *Hierarchy) WriteBackAll() uint64 {
+	var n uint64
+	for blk, data := range h.data {
+		if h.dirtyAnywhere(blk) {
+			h.backing.WriteBlock(blk<<blockShift, data[:])
+			h.cleanEverywhere(blk)
+			h.stats.DrainWritebacks++
+			n++
+		}
+	}
+	return n
+}
+
+// DropAll models a crash: every volatile cache loses its contents; nothing
+// is written back. The backing image retains only what had already reached
+// it. Statistics are preserved.
+func (h *Hierarchy) DropAll() {
+	h.llc.invalidateAll()
+	for c := range h.priv {
+		for _, pc := range h.priv[c] {
+			pc.invalidateAll()
+		}
+	}
+	h.data = make(map[uint64]*[BlockSize]byte)
+}
+
+// DirtyBytesIn counts bytes in [addr, addr+size) whose architectural value
+// (cache contents) differs from the backing image — the bytes that would be
+// lost by a crash. This is exactly the paper's per-object data-inconsistency
+// numerator.
+func (h *Hierarchy) DirtyBytesIn(addr, size uint64) uint64 {
+	if size == 0 {
+		return 0
+	}
+	var n uint64
+	first := addr >> blockShift
+	last := (addr + size - 1) >> blockShift
+	for blk := first; blk <= last; blk++ {
+		data, resident := h.data[blk]
+		if !resident || !h.dirtyAnywhere(blk) {
+			continue
+		}
+		h.backing.ReadBlock(blk<<blockShift, h.tmp[:])
+		lo, hi := blk<<blockShift, (blk+1)<<blockShift
+		if addr > lo {
+			lo = addr
+		}
+		if addr+size < hi {
+			hi = addr + size
+		}
+		for i := lo; i < hi; i++ {
+			if data[i&(BlockSize-1)] != h.tmp[i&(BlockSize-1)] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ResidentBlocks returns the number of blocks currently held in the
+// hierarchy, and how many of those are dirty somewhere.
+func (h *Hierarchy) ResidentBlocks() (resident, dirty int) {
+	resident = len(h.data)
+	for blk := range h.data {
+		if h.dirtyAnywhere(blk) {
+			dirty++
+		}
+	}
+	return
+}
+
+// ArchValue copies the current architectural value of [addr, addr+len(buf))
+// into buf without perturbing cache state or statistics: cached bytes come
+// from the cache, the rest from backing. Intended for assertions and
+// postmortem analysis.
+func (h *Hierarchy) ArchValue(addr uint64, buf []byte) {
+	for len(buf) > 0 {
+		blk := addr >> blockShift
+		off := int(addr & (BlockSize - 1))
+		n := BlockSize - off
+		if n > len(buf) {
+			n = len(buf)
+		}
+		if data, ok := h.data[blk]; ok {
+			copy(buf[:n], data[off:off+n])
+		} else {
+			h.backing.ReadBlock(blk<<blockShift, h.tmp[:])
+			copy(buf[:n], h.tmp[off:off+n])
+		}
+		addr += uint64(n)
+		buf = buf[n:]
+	}
+}
+
+// CheckInclusion verifies the inclusion invariant (every private-resident
+// block is LLC-resident, every resident block has a value buffer) and
+// returns an error describing the first violation. Used by tests.
+func (h *Hierarchy) CheckInclusion() error {
+	for c := range h.priv {
+		for l, pc := range h.priv[c] {
+			for i, st := range pc.state {
+				if st&stValid == 0 {
+					continue
+				}
+				blk := pc.tags[i]
+				if _, ok := h.llc.lookup(blk); !ok {
+					return fmt.Errorf("block %#x valid in core %d level %d but not in LLC", blk, c, l)
+				}
+				if _, ok := h.data[blk]; !ok {
+					return fmt.Errorf("block %#x valid in core %d level %d but has no value buffer", blk, c, l)
+				}
+			}
+		}
+	}
+	for i, st := range h.llc.state {
+		if st&stValid != 0 {
+			if _, ok := h.data[h.llc.tags[i]]; !ok {
+				return fmt.Errorf("block %#x valid in LLC but has no value buffer", h.llc.tags[i])
+			}
+		}
+	}
+	for blk := range h.data {
+		if _, ok := h.llc.lookup(blk); !ok {
+			return fmt.Errorf("value buffer for block %#x not resident in LLC", blk)
+		}
+	}
+	return nil
+}
+
+// Occupancy returns (valid, dirty) line counts per level name for debugging.
+func (h *Hierarchy) Occupancy() map[string][2]int {
+	out := make(map[string][2]int, h.nlev)
+	for l := 0; l < h.npriv; l++ {
+		var v, d int
+		for c := range h.priv {
+			cv, cd := h.priv[c][l].countValid()
+			v += cv
+			d += cd
+		}
+		out[h.cfg.Levels[l].Name] = [2]int{v, d}
+	}
+	v, d := h.llc.countValid()
+	out[h.cfg.Levels[h.nlev-1].Name] = [2]int{v, d}
+	return out
+}

@@ -1,0 +1,190 @@
+// Package ckpt implements the traditional checkpoint/restart baseline the
+// paper compares EasyCrash against. A checkpoint copies data objects into a
+// shadow area of NVM and makes the copy durable; the copying both writes
+// the checkpoint blocks and pollutes the cache, evicting dirty application
+// blocks — the two sources of extra NVM writes the paper's Figure 9 counts
+// against C/R.
+package ckpt
+
+import (
+	"fmt"
+
+	"easycrash/internal/apps"
+	"easycrash/internal/cachesim"
+	"easycrash/internal/mem"
+	"easycrash/internal/nvct"
+	"easycrash/internal/sim"
+)
+
+// Scheme selects which objects a checkpoint copies.
+type Scheme int
+
+const (
+	// Critical checkpoints only the given critical data objects (the
+	// paper's fair-comparison variant).
+	Critical Scheme = iota
+	// AllCandidates checkpoints every candidate object (all non-read-only
+	// data, the common practice).
+	AllCandidates
+)
+
+// String returns a human-readable scheme name.
+func (s Scheme) String() string {
+	switch s {
+	case Critical:
+		return "checkpoint-critical"
+	case AllCandidates:
+		return "checkpoint-all"
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// shadowName is the object name of the checkpoint shadow area.
+const shadowName = "__ckpt_shadow"
+
+// Persister takes checkpoints at the requested iterations. It implements
+// sim.Persister.
+type Persister struct {
+	objects []mem.Object
+	shadow  mem.Object
+	iterObj mem.Object
+	at      map[int64]bool
+	// Checkpoints counts checkpoints taken.
+	Checkpoints int
+}
+
+// NewPersister builds a checkpoint persister on machine m for kernel k.
+// It allocates the shadow area (doubling the checkpointed footprint — the
+// capacity cost §1 describes). atIters lists the iterations after which a
+// checkpoint is taken.
+func NewPersister(m *sim.Machine, k apps.Kernel, scheme Scheme, critical []string, atIters []int64) *Persister {
+	p := &Persister{iterObj: k.IterObject(), at: make(map[int64]bool)}
+	var total uint64
+	for _, o := range m.Space().Candidates() {
+		take := scheme == AllCandidates
+		if scheme == Critical {
+			for _, name := range critical {
+				if o.Name == name {
+					take = true
+					break
+				}
+			}
+		}
+		if take {
+			p.objects = append(p.objects, o)
+			total += (o.Size + mem.BlockSize - 1) &^ (mem.BlockSize - 1)
+		}
+	}
+	if total == 0 {
+		total = mem.BlockSize
+	}
+	p.shadow = m.Space().Alloc(shadowName, total, false)
+	for _, it := range atIters {
+		p.at[it] = true
+	}
+	return p
+}
+
+// RegionEnd implements sim.Persister: C/R does nothing at region ends.
+func (p *Persister) RegionEnd(m *sim.Machine, region int, it int64) {}
+
+// IterationEnd implements sim.Persister: take a checkpoint when due.
+func (p *Persister) IterationEnd(m *sim.Machine, it int64) {
+	// The iterator bookmark is persisted as always.
+	m.Hierarchy().Flush(p.iterObj.Addr, p.iterObj.Size, cachesim.CLWB)
+	if !p.at[it] {
+		return
+	}
+	p.Checkpoints++
+	h := m.Hierarchy()
+	var buf [mem.BlockSize]byte
+	off := p.shadow.Addr
+	for _, o := range p.objects {
+		for a := o.Addr; a < o.End(); a += mem.BlockSize {
+			n := uint64(mem.BlockSize)
+			if o.End()-a < n {
+				n = o.End() - a
+			}
+			// The copy goes through the cache: reading the source brings
+			// its blocks in, writing the destination dirties shadow blocks
+			// — both evict other (possibly dirty) blocks, the pollution
+			// writes Figure 9 accounts for.
+			h.Load(0, a, buf[:n])
+			h.Store(0, off, buf[:n])
+			off += mem.BlockSize
+		}
+	}
+	// The checkpoint must be durable before it counts.
+	h.Flush(p.shadow.Addr, off-p.shadow.Addr, cachesim.CLFLUSHOPT)
+}
+
+// WritesReport compares NVM write traffic across fault-tolerance schemes
+// for one kernel (Figure 9).
+type WritesReport struct {
+	Kernel string
+	// BaselineWrites is the write count of the plain run (no persistence,
+	// no checkpoints) — the normalisation denominator.
+	BaselineWrites uint64
+	// EasyCrashWrites is the write count under the given EasyCrash policy.
+	EasyCrashWrites uint64
+	// CkptCriticalWrites and CkptAllWrites are the counts with one
+	// checkpoint of the critical / all candidate objects.
+	CkptCriticalWrites uint64
+	CkptAllWrites      uint64
+}
+
+// NormalizedEasyCrash returns EasyCrash's write count normalized to the
+// baseline (1.16 means 16% additional writes).
+func (w WritesReport) NormalizedEasyCrash() float64 {
+	return float64(w.EasyCrashWrites) / float64(w.BaselineWrites)
+}
+
+// NormalizedCkptCritical returns the critical-object C/R count normalized
+// to the baseline.
+func (w WritesReport) NormalizedCkptCritical() float64 {
+	return float64(w.CkptCriticalWrites) / float64(w.BaselineWrites)
+}
+
+// NormalizedCkptAll returns the all-candidates C/R count normalized to the
+// baseline.
+func (w WritesReport) NormalizedCkptAll() float64 {
+	return float64(w.CkptAllWrites) / float64(w.BaselineWrites)
+}
+
+// CompareWrites profiles the four schemes the paper's Figure 9 compares:
+// no fault tolerance, EasyCrash under policy, and one mid-run checkpoint of
+// the critical or all candidate objects. As in the paper, the single
+// checkpoint is a conservative under-count of real C/R traffic.
+func CompareWrites(t *nvct.Tester, policy *nvct.Policy, critical []string) (WritesReport, error) {
+	rep := WritesReport{Kernel: t.Name()}
+
+	base, err := t.ProfileRun(nil)
+	if err != nil {
+		return rep, err
+	}
+	rep.BaselineWrites = base.NVMWrites
+
+	ec, err := t.ProfileRun(policy)
+	if err != nil {
+		return rep, err
+	}
+	rep.EasyCrashWrites = ec.NVMWrites
+
+	mid := []int64{t.Golden().Iters / 2}
+	crit, err := t.ProfileRunWith(func(m *sim.Machine, k apps.Kernel) sim.Persister {
+		return NewPersister(m, k, Critical, critical, mid)
+	})
+	if err != nil {
+		return rep, err
+	}
+	rep.CkptCriticalWrites = crit.NVMWrites
+
+	all, err := t.ProfileRunWith(func(m *sim.Machine, k apps.Kernel) sim.Persister {
+		return NewPersister(m, k, AllCandidates, nil, mid)
+	})
+	if err != nil {
+		return rep, err
+	}
+	rep.CkptAllWrites = all.NVMWrites
+	return rep, nil
+}

@@ -1,0 +1,102 @@
+package ckpt_test
+
+import (
+	"testing"
+
+	"easycrash/internal/apps"
+	"easycrash/internal/ckpt"
+	"easycrash/internal/nvct"
+	"easycrash/internal/sim"
+)
+
+func TestSchemeString(t *testing.T) {
+	if ckpt.Critical.String() != "checkpoint-critical" ||
+		ckpt.AllCandidates.String() != "checkpoint-all" {
+		t.Fatal("scheme names wrong")
+	}
+	if ckpt.Scheme(9).String() == "" {
+		t.Fatal("unknown scheme should still format")
+	}
+}
+
+func TestCheckpointAddsWrites(t *testing.T) {
+	f, _ := apps.New("mg", apps.ProfileTest)
+	tester, err := nvct.NewTester(f, nvct.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := tester.ProfileRun(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p *ckpt.Persister
+	run, err := tester.ProfileRunWith(func(m *sim.Machine, k apps.Kernel) sim.Persister {
+		p = ckpt.NewPersister(m, k, ckpt.AllCandidates, nil, []int64{5})
+		return p
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Checkpoints != 1 {
+		t.Fatalf("checkpoints taken = %d, want 1", p.Checkpoints)
+	}
+	if run.NVMWrites <= base.NVMWrites {
+		t.Fatalf("checkpointing writes (%d) not above baseline (%d)", run.NVMWrites, base.NVMWrites)
+	}
+	// The copy must not corrupt the computation.
+	if run.Result[0] != base.Result[0] {
+		t.Fatalf("checkpointed run result %v differs from baseline %v", run.Result[0], base.Result[0])
+	}
+}
+
+func TestCriticalCheaperThanAll(t *testing.T) {
+	f, _ := apps.New("mg", apps.ProfileTest)
+	tester, err := nvct.NewTester(f, nvct.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ckpt.CompareWrites(tester, nvct.IterationPolicy([]string{"u"}), []string{"u"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BaselineWrites == 0 {
+		t.Fatal("baseline writes zero")
+	}
+	if rep.CkptCriticalWrites >= rep.CkptAllWrites {
+		t.Fatalf("critical checkpoint (%d) not cheaper than all-candidates (%d)",
+			rep.CkptCriticalWrites, rep.CkptAllWrites)
+	}
+	// Figure 9's headline: EasyCrash adds fewer writes than either C/R
+	// variant.
+	if rep.NormalizedEasyCrash() >= rep.NormalizedCkptAll() {
+		t.Fatalf("EasyCrash writes (%.3f) not below C/R-all (%.3f)",
+			rep.NormalizedEasyCrash(), rep.NormalizedCkptAll())
+	}
+	for _, v := range []float64{rep.NormalizedEasyCrash(), rep.NormalizedCkptCritical(), rep.NormalizedCkptAll()} {
+		if v < 1 {
+			t.Fatalf("normalized writes %v below 1 (schemes only add writes)", v)
+		}
+	}
+}
+
+func TestMultipleCheckpoints(t *testing.T) {
+	f, _ := apps.New("lu", apps.ProfileTest)
+	tester, err := nvct.NewTester(f, nvct.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writesAt := func(iters []int64) uint64 {
+		g, err := tester.ProfileRunWith(func(m *sim.Machine, k apps.Kernel) sim.Persister {
+			return ckpt.NewPersister(m, k, ckpt.AllCandidates, nil, iters)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g.NVMWrites
+	}
+	one := writesAt([]int64{5})
+	three := writesAt([]int64{2, 5, 8})
+	if three <= one {
+		t.Fatalf("3 checkpoints (%d writes) not above 1 (%d)", three, one)
+	}
+}

@@ -1,0 +1,103 @@
+// Package cli holds the small helpers the command-line tools share:
+// profile/cache-geometry selection, persistence-policy construction from
+// flag strings, and human-readable size formatting.
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"easycrash/internal/apps"
+	"easycrash/internal/cachesim"
+	"easycrash/internal/nvct"
+)
+
+// ParseProfile maps a flag value to a problem-size profile.
+func ParseProfile(s string) (apps.Profile, error) {
+	switch s {
+	case "", "test":
+		return apps.ProfileTest, nil
+	case "bench":
+		return apps.ProfileBench, nil
+	}
+	return 0, fmt.Errorf("cli: unknown profile %q (want test or bench)", s)
+}
+
+// ParseCache maps a flag value to a cache geometry.
+func ParseCache(s string) (cachesim.Config, error) {
+	switch s {
+	case "", "test":
+		return cachesim.TestConfig(), nil
+	case "paper":
+		return cachesim.PaperConfig(), nil
+	}
+	return cachesim.Config{}, fmt.Errorf("cli: unknown cache %q (want test or paper)", s)
+}
+
+// BuildPolicy constructs a persistence policy from flag strings: persist is
+// a comma-separated object list (empty means the iterator-only baseline),
+// regions an optional comma-separated region-id list, everyIt adds
+// iteration-end flushes, freq is the persistence period.
+func BuildPolicy(persist, regions string, everyIt bool, freq int64) (*nvct.Policy, error) {
+	if persist == "" {
+		return nil, nil
+	}
+	p := &nvct.Policy{Objects: splitTrim(persist), Frequency: freq, Op: cachesim.CLFLUSHOPT}
+	if regions == "" {
+		p.AtIterationEnd = true
+		return p, nil
+	}
+	for _, r := range splitTrim(regions) {
+		id, err := strconv.Atoi(r)
+		if err != nil {
+			return nil, fmt.Errorf("cli: bad region id %q", r)
+		}
+		p.AtRegionEnds = append(p.AtRegionEnds, id)
+	}
+	p.AtIterationEnd = everyIt
+	return p, nil
+}
+
+func splitTrim(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if t := strings.TrimSpace(p); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// DescribePolicy renders a policy for humans.
+func DescribePolicy(p *nvct.Policy, verified bool) string {
+	var s string
+	freq := int64(1)
+	if p != nil && p.Frequency > 1 {
+		freq = p.Frequency
+	}
+	switch {
+	case p == nil:
+		s = "iterator-only baseline"
+	case len(p.AtRegionEnds) > 0:
+		s = fmt.Sprintf("persist %v at regions %v every %d iteration(s)", p.Objects, p.AtRegionEnds, freq)
+	default:
+		s = fmt.Sprintf("persist %v at iteration ends every %d iteration(s)", p.Objects, freq)
+	}
+	if verified {
+		s += ", verified variant"
+	}
+	return s
+}
+
+// Size formats a byte count with binary units.
+func Size(b uint64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
+}

@@ -1,0 +1,86 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+
+	"easycrash/internal/apps"
+)
+
+func TestParseProfile(t *testing.T) {
+	for s, want := range map[string]apps.Profile{"": apps.ProfileTest, "test": apps.ProfileTest, "bench": apps.ProfileBench} {
+		got, err := ParseProfile(s)
+		if err != nil || got != want {
+			t.Errorf("ParseProfile(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseProfile("huge"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestParseCache(t *testing.T) {
+	c, err := ParseCache("paper")
+	if err != nil || c.Name != "xeon-gold-6126" {
+		t.Fatalf("ParseCache(paper) = %v, %v", c.Name, err)
+	}
+	c, err = ParseCache("")
+	if err != nil || c.Name != "test" {
+		t.Fatalf("ParseCache('') = %v, %v", c.Name, err)
+	}
+	if _, err := ParseCache("l4"); err == nil {
+		t.Fatal("unknown cache accepted")
+	}
+}
+
+func TestBuildPolicy(t *testing.T) {
+	p, err := BuildPolicy("", "", false, 1)
+	if err != nil || p != nil {
+		t.Fatalf("empty persist: %v, %v", p, err)
+	}
+	p, err = BuildPolicy("u, r", "", false, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.AtIterationEnd || len(p.Objects) != 2 || p.Objects[1] != "r" || p.Frequency != 2 {
+		t.Fatalf("policy = %+v", p)
+	}
+	p, err = BuildPolicy("u", "1,3", true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.AtRegionEnds) != 2 || p.AtRegionEnds[1] != 3 || !p.AtIterationEnd {
+		t.Fatalf("policy = %+v", p)
+	}
+	if _, err := BuildPolicy("u", "1,x", false, 1); err == nil {
+		t.Fatal("bad region id accepted")
+	}
+}
+
+func TestDescribePolicy(t *testing.T) {
+	if got := DescribePolicy(nil, false); got != "iterator-only baseline" {
+		t.Fatalf("nil policy: %q", got)
+	}
+	p, _ := BuildPolicy("u", "2", false, 4)
+	if got := DescribePolicy(p, true); !strings.Contains(got, "regions [2]") || !strings.Contains(got, "every 4") || !strings.Contains(got, "verified") {
+		t.Fatalf("described: %q", got)
+	}
+	q, _ := BuildPolicy("u", "", false, 1)
+	if got := DescribePolicy(q, false); !strings.Contains(got, "iteration ends") {
+		t.Fatalf("described: %q", got)
+	}
+}
+
+func TestSize(t *testing.T) {
+	for b, want := range map[uint64]string{
+		12:        "12B",
+		2048:      "2.0KiB",
+		3 << 20:   "3.0MiB",
+		1536:      "1.5KiB",
+		1<<20 - 1: "1024.0KiB",
+	} {
+		if got := Size(b); got != want {
+			t.Errorf("Size(%d) = %q, want %q", b, got, want)
+		}
+	}
+}

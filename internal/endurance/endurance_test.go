@@ -1,0 +1,106 @@
+package endurance
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLifetimeBasics(t *testing.T) {
+	m := Media{Name: "m", CellEndurance: 1e6, Leveling: 1}
+	// 1 GiB at 1 GiB/s: each full-device write takes 1 s, 1e6 of them.
+	lt, err := m.Lifetime(1<<30, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := lt, time.Duration(1e6)*time.Second; got != want {
+		t.Fatalf("lifetime = %v, want %v", got, want)
+	}
+	// Halving the write rate doubles lifetime.
+	lt2, _ := m.Lifetime(1<<30, 1<<29)
+	if lt2 != 2*lt {
+		t.Fatalf("half rate lifetime = %v, want %v", lt2, 2*lt)
+	}
+}
+
+func TestLifetimeErrors(t *testing.T) {
+	m := PCM()
+	for _, tc := range [][2]float64{{0, 1}, {1, 0}, {-1, 1}} {
+		if _, err := m.Lifetime(tc[0], tc[1]); err != ErrBadModel {
+			t.Fatalf("Lifetime(%v, %v): err = %v", tc[0], tc[1], err)
+		}
+	}
+	bad := Media{CellEndurance: 1e6, Leveling: 1.5}
+	if _, err := bad.Lifetime(1, 1); err != ErrBadModel {
+		t.Fatal("excess levelling efficiency accepted")
+	}
+}
+
+func TestLifetimeSaturatesInsteadOfOverflow(t *testing.T) {
+	m := Media{Name: "m", CellEndurance: 1e18, Leveling: 1}
+	lt, err := m.Lifetime(1e18, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lt <= 0 {
+		t.Fatalf("overflowed to %v", lt)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	c, err := Compare(PCM(), 128<<30, 20<<30, []SchemeWrites{
+		{Scheme: "easycrash", Normalized: 1.16},
+		{Scheme: "ckpt-all", Normalized: 1.50},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Rows) != 3 {
+		t.Fatalf("rows = %d", len(c.Rows))
+	}
+	if !(c.Rows[0].Lifetime > c.Rows[1].Lifetime && c.Rows[1].Lifetime > c.Rows[2].Lifetime) {
+		t.Fatalf("lifetime ordering wrong: %+v", c.Rows)
+	}
+	// The loss formula: 1.5x writes lose a third of the lifetime.
+	if math.Abs(c.Rows[2].LifetimeLossVsBase-1.0/3) > 1e-9 {
+		t.Fatalf("loss = %v, want 1/3", c.Rows[2].LifetimeLossVsBase)
+	}
+	if _, err := Compare(PCM(), 1<<30, 1<<20, []SchemeWrites{{Scheme: "bogus", Normalized: 0.5}}); err == nil {
+		t.Fatal("normalized < 1 accepted")
+	}
+}
+
+func TestMediaPresets(t *testing.T) {
+	for _, m := range []Media{PCM(), OptaneDC()} {
+		if m.CellEndurance <= 0 || m.Leveling <= 0 || m.Leveling > 1 {
+			t.Fatalf("preset %q invalid: %+v", m.Name, m)
+		}
+	}
+}
+
+// Property: lifetime is monotone — more capacity or endurance never hurts,
+// more writes never help.
+func TestQuickLifetimeMonotone(t *testing.T) {
+	f := func(capKiB, rateKiB uint16, extra uint8) bool {
+		capacity := float64(capKiB)*1024 + 1024
+		rate := float64(rateKiB)*1024 + 1024
+		m := PCM()
+		a, err := m.Lifetime(capacity, rate)
+		if err != nil {
+			return false
+		}
+		b, err := m.Lifetime(capacity*(1+float64(extra)/10), rate)
+		if err != nil {
+			return false
+		}
+		c, err := m.Lifetime(capacity, rate*(1+float64(extra)/10))
+		if err != nil {
+			return false
+		}
+		return b >= a && c <= a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

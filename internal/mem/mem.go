@@ -1,0 +1,248 @@
+// Package mem provides the simulated non-volatile main memory (NVM) substrate
+// used by the whole reproduction: a byte-accurate memory image that survives
+// simulated crashes, plus a registry of application data objects placed in it.
+//
+// The memory image plays the role of the Optane DC PMM in app-direct mode: it
+// is the durable truth. Volatile state (the caches in package cachesim) sits
+// in front of it; only cache write-backs and explicit flushes reach the image.
+// Write traffic into the image is counted at cache-block granularity, which is
+// what the paper's NVM-endurance experiments (Figure 9) measure.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// BlockSize is the cache-block size in bytes used throughout the simulator.
+// The paper simulates 64-byte lines (Xeon Gold 6126).
+const BlockSize = 64
+
+// Image is a byte-accurate simulated NVM image. The zero value is not usable;
+// create one with NewImage.
+type Image struct {
+	data         []byte
+	blockWrites  uint64
+	bytesWritten uint64
+	wear         *WearMap
+}
+
+// NewImage creates an NVM image of the given size in bytes, rounded up to a
+// whole number of cache blocks.
+func NewImage(size uint64) *Image {
+	size = (size + BlockSize - 1) &^ (BlockSize - 1)
+	return &Image{data: make([]byte, size)}
+}
+
+// Size returns the image capacity in bytes.
+func (im *Image) Size() uint64 { return uint64(len(im.data)) }
+
+// ReadBlock copies the cache block containing addr into dst (len BlockSize).
+func (im *Image) ReadBlock(addr uint64, dst []byte) {
+	base := addr &^ (BlockSize - 1)
+	copy(dst, im.data[base:base+BlockSize])
+}
+
+// WriteBlock writes one cache block into the image and counts one NVM write.
+// This is the only mutation path used by the cache hierarchy, so blockWrites
+// counts exactly the media writes the paper's endurance analysis counts.
+func (im *Image) WriteBlock(addr uint64, src []byte) {
+	base := addr &^ (BlockSize - 1)
+	copy(im.data[base:base+BlockSize], src[:BlockSize])
+	im.blockWrites++
+	im.bytesWritten += BlockSize
+	if im.wear != nil {
+		im.wear.record(base)
+	}
+}
+
+// BlockWrites returns the number of cache-block writes the image has absorbed.
+func (im *Image) BlockWrites() uint64 { return im.blockWrites }
+
+// BytesWritten returns the number of bytes written into the image.
+func (im *Image) BytesWritten() uint64 { return im.bytesWritten }
+
+// ResetWriteCounters zeroes the write counters without touching contents.
+func (im *Image) ResetWriteCounters() { im.blockWrites, im.bytesWritten = 0, 0 }
+
+// Bytes returns the raw image contents for the half-open range [addr, addr+n).
+// The returned slice aliases the image; callers must not hold it across
+// mutations they do not intend to observe.
+func (im *Image) Bytes(addr, n uint64) []byte { return im.data[addr : addr+n] }
+
+// RawWrite copies bytes into the image without counting NVM writes. It models
+// out-of-band restoration (e.g. reloading a checkpoint from SSD) and test
+// setup, not in-band store traffic.
+func (im *Image) RawWrite(addr uint64, src []byte) { copy(im.data[addr:], src) }
+
+// Float64At reads a float64 stored at addr directly from the image,
+// bypassing any cache. It reflects only the durable state.
+func (im *Image) Float64At(addr uint64) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(im.data[addr : addr+8]))
+}
+
+// SetFloat64At writes a float64 directly into the image without counting an
+// NVM write (out-of-band restoration path).
+func (im *Image) SetFloat64At(addr uint64, v float64) {
+	binary.LittleEndian.PutUint64(im.data[addr:addr+8], math.Float64bits(v))
+}
+
+// Int64At reads an int64 stored at addr directly from the image.
+func (im *Image) Int64At(addr uint64) int64 {
+	return int64(binary.LittleEndian.Uint64(im.data[addr : addr+8]))
+}
+
+// SetInt64At writes an int64 directly into the image without counting a write.
+func (im *Image) SetInt64At(addr uint64, v int64) {
+	binary.LittleEndian.PutUint64(im.data[addr:addr+8], uint64(v))
+}
+
+// Snapshot returns a deep copy of the image contents. Crash tests snapshot
+// the post-crash durable state for postmortem analysis and restart.
+func (im *Image) Snapshot() []byte {
+	s := make([]byte, len(im.data))
+	copy(s, im.data)
+	return s
+}
+
+// Restore overwrites the image contents from a snapshot previously produced
+// by Snapshot. Write counters are unaffected.
+func (im *Image) Restore(snap []byte) {
+	if len(snap) != len(im.data) {
+		panic(fmt.Sprintf("mem: restore snapshot size %d != image size %d", len(snap), len(im.data)))
+	}
+	copy(im.data, snap)
+}
+
+// Object describes one application data object placed in simulated NVM.
+// Following the paper (§2.2) only heap and global objects are modelled.
+type Object struct {
+	Name string
+	Addr uint64
+	Size uint64
+	// Candidate marks a candidate critical data object (§5.1): its lifetime
+	// is the main computation loop and it is not read-only.
+	Candidate bool
+}
+
+// End returns the first address past the object.
+func (o Object) End() uint64 { return o.Addr + o.Size }
+
+// Space is an allocator plus data-object registry over an Image. Objects are
+// block-aligned so flushing an object never touches a neighbouring object's
+// blocks, matching how the paper's runtime flushes whole objects.
+type Space struct {
+	img    *Image
+	brk    uint64
+	byName map[string]int
+	objs   []Object
+}
+
+// NewSpace creates an object space over a fresh image of the given capacity.
+func NewSpace(capacity uint64) *Space {
+	return &Space{img: NewImage(capacity), byName: make(map[string]int)}
+}
+
+// Image returns the underlying NVM image.
+func (s *Space) Image() *Image { return s.img }
+
+// Alloc places a new object of size bytes, block-aligned, and registers it.
+// It panics if the name is already taken or the image is exhausted: both are
+// programming errors in kernel setup, not runtime conditions.
+func (s *Space) Alloc(name string, size uint64, candidate bool) Object {
+	if _, dup := s.byName[name]; dup {
+		panic("mem: duplicate object name " + name)
+	}
+	if size == 0 {
+		panic("mem: zero-size object " + name)
+	}
+	addr := (s.brk + BlockSize - 1) &^ (BlockSize - 1)
+	if addr+size > s.img.Size() {
+		panic(fmt.Sprintf("mem: out of simulated NVM allocating %s (%d bytes, brk %d, cap %d)",
+			name, size, addr, s.img.Size()))
+	}
+	s.brk = addr + size
+	o := Object{Name: name, Addr: addr, Size: size, Candidate: candidate}
+	s.byName[name] = len(s.objs)
+	s.objs = append(s.objs, o)
+	return o
+}
+
+// AllocF64 allocates an object holding n float64 values.
+func (s *Space) AllocF64(name string, n int, candidate bool) Object {
+	return s.Alloc(name, uint64(n)*8, candidate)
+}
+
+// AllocI64 allocates an object holding n int64 values.
+func (s *Space) AllocI64(name string, n int, candidate bool) Object {
+	return s.Alloc(name, uint64(n)*8, candidate)
+}
+
+// Object looks up a registered object by name.
+func (s *Space) Object(name string) (Object, bool) {
+	i, ok := s.byName[name]
+	if !ok {
+		return Object{}, false
+	}
+	return s.objs[i], true
+}
+
+// MustObject looks up a registered object by name and panics if absent.
+func (s *Space) MustObject(name string) Object {
+	o, ok := s.Object(name)
+	if !ok {
+		panic("mem: unknown object " + name)
+	}
+	return o
+}
+
+// Objects returns all registered objects in allocation order.
+func (s *Space) Objects() []Object {
+	out := make([]Object, len(s.objs))
+	copy(out, s.objs)
+	return out
+}
+
+// Candidates returns the candidate critical data objects in allocation order.
+func (s *Space) Candidates() []Object {
+	var out []Object
+	for _, o := range s.objs {
+		if o.Candidate {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Footprint returns the total bytes allocated to registered objects.
+func (s *Space) Footprint() uint64 {
+	var t uint64
+	for _, o := range s.objs {
+		t += o.Size
+	}
+	return t
+}
+
+// CandidateFootprint returns the total bytes of candidate objects.
+func (s *Space) CandidateFootprint() uint64 {
+	var t uint64
+	for _, o := range s.objs {
+		if o.Candidate {
+			t += o.Size
+		}
+	}
+	return t
+}
+
+// ObjectAt returns the object containing addr, if any. Used for attributing
+// dirty bytes and NVM writes to objects in postmortem analysis.
+func (s *Space) ObjectAt(addr uint64) (Object, bool) {
+	// Objects are allocated in address order, so binary search works.
+	i := sort.Search(len(s.objs), func(i int) bool { return s.objs[i].End() > addr })
+	if i < len(s.objs) && s.objs[i].Addr <= addr {
+		return s.objs[i], true
+	}
+	return Object{}, false
+}

@@ -1,0 +1,102 @@
+package mem
+
+import "sort"
+
+// WearMap tracks per-block write counts of an Image — the wear distribution
+// behind the paper's endurance concern. Total write counts (BlockWrites)
+// bound average wear; the distribution shows whether a persistence scheme
+// concentrates writes on few blocks (as selective flushing of small hot
+// objects does) or spreads them (as checkpoint copies do), which is what
+// wear-levelling hardware has to absorb.
+type WearMap struct {
+	counts map[uint64]uint64
+}
+
+// EnableWearTracking attaches a wear map to the image; subsequent
+// WriteBlock calls are recorded. Returns the map for later analysis.
+func (im *Image) EnableWearTracking() *WearMap {
+	im.wear = &WearMap{counts: make(map[uint64]uint64)}
+	return im.wear
+}
+
+// DisableWearTracking detaches the wear map.
+func (im *Image) DisableWearTracking() { im.wear = nil }
+
+// record notes one block write.
+func (w *WearMap) record(blockAddr uint64) { w.counts[blockAddr]++ }
+
+// TouchedBlocks returns how many distinct blocks received writes.
+func (w *WearMap) TouchedBlocks() int { return len(w.counts) }
+
+// MaxWrites returns the hottest block's write count.
+func (w *WearMap) MaxWrites() uint64 {
+	var max uint64
+	for _, c := range w.counts {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// TotalWrites returns the recorded write total.
+func (w *WearMap) TotalWrites() uint64 {
+	var t uint64
+	for _, c := range w.counts {
+		t += c
+	}
+	return t
+}
+
+// Gini returns the Gini coefficient of the write distribution over touched
+// blocks: 0 = perfectly even wear, approaching 1 = all writes on one block.
+func (w *WearMap) Gini() float64 {
+	n := len(w.counts)
+	if n == 0 {
+		return 0
+	}
+	xs := make([]uint64, 0, n)
+	for _, c := range w.counts {
+		xs = append(xs, c)
+	}
+	sort.Slice(xs, func(a, b int) bool { return xs[a] < xs[b] })
+	var cum, weighted float64
+	for i, x := range xs {
+		cum += float64(x)
+		weighted += float64(i+1) * float64(x)
+	}
+	if cum == 0 {
+		return 0
+	}
+	nf := float64(n)
+	return (2*weighted - (nf+1)*cum) / (nf * cum)
+}
+
+// HottestIn returns the highest write count among blocks overlapping
+// [addr, addr+size) — per-object wear attribution.
+func (w *WearMap) HottestIn(addr, size uint64) uint64 {
+	if size == 0 {
+		return 0
+	}
+	var max uint64
+	first := addr &^ (BlockSize - 1)
+	for blk := first; blk < addr+size; blk += BlockSize {
+		if c := w.counts[blk]; c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// WritesIn sums the writes to blocks overlapping [addr, addr+size).
+func (w *WearMap) WritesIn(addr, size uint64) uint64 {
+	if size == 0 {
+		return 0
+	}
+	var t uint64
+	first := addr &^ (BlockSize - 1)
+	for blk := first; blk < addr+size; blk += BlockSize {
+		t += w.counts[blk]
+	}
+	return t
+}

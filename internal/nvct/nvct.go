@@ -1,0 +1,623 @@
+// Package nvct is the Non-Volatile memory Crash Tester — the Go counterpart
+// of the paper's PIN-based NVCT tool (§3). It drives benchmark kernels on
+// the simulated machine, triggers crashes at uniformly random points of the
+// main computation loop, performs postmortem analysis (per-object data
+// inconsistency rates), restarts the application from the durable NVM dump,
+// and classifies the response:
+//
+//	S1 — successful recomputation, no extra iterations
+//	S2 — successful recomputation with extra iterations
+//	S3 — interruption (the restarted run could not complete)
+//	S4 — acceptance verification fails
+//
+// A Tester owns one golden (undisturbed) run; campaigns of crash tests are
+// then run against different persistence policies.
+package nvct
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"easycrash/internal/apps"
+	"easycrash/internal/cachesim"
+	"easycrash/internal/mem"
+	"easycrash/internal/sim"
+)
+
+// Outcome classifies one crash-and-restart test (Figure 3).
+type Outcome int
+
+const (
+	// S1 is successful recomputation without extra iterations.
+	S1 Outcome = iota
+	// S2 is successful recomputation that needed extra iterations.
+	S2
+	// S3 is an interruption: the restarted run could not complete.
+	S3
+	// S4 is a failed acceptance verification.
+	S4
+)
+
+// String returns the paper's label for the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case S1:
+		return "S1"
+	case S2:
+		return "S2"
+	case S3:
+		return "S3"
+	case S4:
+		return "S4"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// Policy describes a persistence policy: which data objects to flush and
+// where. The loop-iterator bookmark is always flushed at iteration ends
+// regardless of policy (paper footnote 3). A nil *Policy is the baseline:
+// iterator-only, no object persistence.
+type Policy struct {
+	// Objects are the names of the data objects to persist.
+	Objects []string
+	// AtIterationEnd flushes the objects at the end of every Frequency-th
+	// main-loop iteration.
+	AtIterationEnd bool
+	// AtRegionEnds flushes the objects at the end of each listed region
+	// (every Frequency-th iteration).
+	AtRegionEnds []int
+	// Frequency is the persistence period in iterations; 0 or 1 = every
+	// iteration (the paper's x parameter).
+	Frequency int64
+	// Op is the flush instruction; the zero value CLFLUSH is never what
+	// you want for performance, so NewTester-built policies use CLFLUSHOPT
+	// when Op is unset... callers may set CLWB explicitly.
+	Op cachesim.FlushOp
+}
+
+// EveryRegionPolicy returns the most aggressive policy for the given
+// objects: flush at the end of every region and every iteration. This is
+// how the paper obtains the "best recomputability" reference and c_k^max.
+func EveryRegionPolicy(objects []string, regions int) *Policy {
+	all := make([]int, regions)
+	for i := range all {
+		all[i] = i
+	}
+	return &Policy{Objects: objects, AtIterationEnd: true, AtRegionEnds: all, Frequency: 1, Op: cachesim.CLFLUSHOPT}
+}
+
+// IterationPolicy returns a policy persisting the objects at the end of
+// every main-loop iteration (the paper's "selecting data objects" step).
+func IterationPolicy(objects []string) *Policy {
+	return &Policy{Objects: objects, AtIterationEnd: true, Frequency: 1, Op: cachesim.CLFLUSHOPT}
+}
+
+// policyPersister adapts a Policy to sim.Persister.
+type policyPersister struct {
+	objs    []mem.Object
+	iterObj mem.Object
+	p       *Policy
+	regions map[int]bool
+}
+
+func newPolicyPersister(m *sim.Machine, k apps.Kernel, p *Policy) *policyPersister {
+	pp := &policyPersister{iterObj: k.IterObject(), p: p, regions: make(map[int]bool)}
+	if p != nil {
+		for _, name := range p.Objects {
+			pp.objs = append(pp.objs, m.Space().MustObject(name))
+		}
+		for _, r := range p.AtRegionEnds {
+			pp.regions[r] = true
+		}
+	}
+	return pp
+}
+
+func (pp *policyPersister) due(it int64) bool {
+	if pp.p == nil {
+		return false
+	}
+	f := pp.p.Frequency
+	if f <= 1 {
+		return true
+	}
+	return it%f == 0
+}
+
+// RegionEnd implements sim.Persister.
+func (pp *policyPersister) RegionEnd(m *sim.Machine, region int, it int64) {
+	if pp.p != nil && pp.regions[region] && pp.due(it) {
+		m.FlushObjects(pp.objs, pp.p.Op)
+	}
+}
+
+// IterationEnd implements sim.Persister.
+func (pp *policyPersister) IterationEnd(m *sim.Machine, it int64) {
+	if pp.p != nil && pp.p.AtIterationEnd && pp.due(it) {
+		m.FlushObjects(pp.objs, pp.p.Op)
+	}
+	// The iterator bookmark is always persisted; it is flushed outside the
+	// machine's persistence accounting because the paper does not count it
+	// as a persistence operation (footnote 3: "almost zero impact").
+	m.Hierarchy().Flush(pp.iterObj.Addr, pp.iterObj.Size, cachesim.CLWB)
+}
+
+// Config configures a Tester.
+type Config struct {
+	// Cache is the cache geometry; zero value means cachesim.TestConfig.
+	Cache cachesim.Config
+	// NVMBytes is the simulated NVM capacity; 0 means 64 MiB.
+	NVMBytes uint64
+	// MaxIterFactor bounds restarted runs at MaxIterFactor*golden
+	// iterations (paper: verification failure is declared after 2x);
+	// 0 means 2.
+	MaxIterFactor float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cache.Levels == nil {
+		c.Cache = cachesim.TestConfig()
+	}
+	if c.NVMBytes == 0 {
+		c.NVMBytes = 64 << 20
+	}
+	if c.MaxIterFactor == 0 {
+		c.MaxIterFactor = 2
+	}
+	return c
+}
+
+// Golden describes the undisturbed reference run.
+type Golden struct {
+	Iters          int64
+	MainAccesses   uint64
+	RegionAccesses map[int]uint64
+	Result         []float64
+	CacheStats     cachesim.Stats
+	PersistStats   sim.PersistStats
+	NVMWrites      uint64
+	Footprint      uint64
+	CandidateBytes uint64
+	Candidates     []mem.Object
+	Regions        int
+}
+
+// TestResult is one crash-and-restart test.
+type TestResult struct {
+	CrashAccess   uint64
+	CrashRegion   int
+	CrashIter     int64
+	Outcome       Outcome
+	ExtraIters    int64
+	Inconsistency map[string]float64 // per-candidate data inconsistent rate at the crash
+	// FinalResult is the restarted run's outcome scalars (nil when the run
+	// was interrupted); comparing it with the golden Result shows how far
+	// the recomputation deviated.
+	FinalResult []float64
+}
+
+// Success reports whether the application recomputed (S1 or S2).
+func (r TestResult) Success() bool { return r.Outcome == S1 || r.Outcome == S2 }
+
+// Report aggregates a campaign.
+type Report struct {
+	Kernel  string
+	Policy  *Policy
+	Tests   []TestResult
+	Counts  [4]int // indexed by Outcome
+	Regions int
+}
+
+// Recomputability is the paper's headline metric: the fraction of crashes
+// that recompute successfully without extra iterations (S1).
+func (r *Report) Recomputability() float64 {
+	if len(r.Tests) == 0 {
+		return 0
+	}
+	return float64(r.Counts[S1]) / float64(len(r.Tests))
+}
+
+// SuccessRate is the fraction of S1+S2 responses.
+func (r *Report) SuccessRate() float64 {
+	if len(r.Tests) == 0 {
+		return 0
+	}
+	return float64(r.Counts[S1]+r.Counts[S2]) / float64(len(r.Tests))
+}
+
+// AvgExtraIters is the mean number of extra iterations over successful
+// recomputations (Table 1's restart overhead).
+func (r *Report) AvgExtraIters() float64 {
+	var n, sum int64
+	for _, t := range r.Tests {
+		if t.Success() {
+			n++
+			sum += t.ExtraIters
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// RegionRecomputability returns per-region S1 fractions (the c_k of §5.2)
+// and per-region test counts.
+func (r *Report) RegionRecomputability() (rec map[int]float64, tests map[int]int) {
+	s1 := make(map[int]int)
+	tests = make(map[int]int)
+	for _, t := range r.Tests {
+		tests[t.CrashRegion]++
+		if t.Outcome == S1 {
+			s1[t.CrashRegion]++
+		}
+	}
+	rec = make(map[int]float64, len(tests))
+	for k, n := range tests {
+		rec[k] = float64(s1[k]) / float64(n)
+	}
+	return rec, tests
+}
+
+// InconsistencyVectors extracts, for each candidate object, the paired
+// vectors (inconsistency rate, success as 0/1) across all tests — the input
+// to the Spearman analysis of §5.1.
+func (r *Report) InconsistencyVectors() map[string][2][]float64 {
+	out := make(map[string][2][]float64)
+	for _, t := range r.Tests {
+		for name, rate := range t.Inconsistency {
+			v := out[name]
+			v[0] = append(v[0], rate)
+			s := 0.0
+			if t.Outcome == S1 {
+				s = 1
+			}
+			v[1] = append(v[1], s)
+			out[name] = v
+		}
+	}
+	return out
+}
+
+// Tester owns the golden run for one kernel and runs crash campaigns.
+type Tester struct {
+	factory apps.Factory
+	cfg     Config
+	golden  Golden
+	name    string
+}
+
+// NewTester performs the golden run and returns a ready Tester.
+func NewTester(factory apps.Factory, cfg Config) (*Tester, error) {
+	cfg = cfg.withDefaults()
+	t := &Tester{factory: factory, cfg: cfg}
+	g, name, err := t.runGolden(nil)
+	if err != nil {
+		return nil, err
+	}
+	t.golden = g
+	t.name = name
+	return t, nil
+}
+
+// Golden returns the golden-run profile.
+func (t *Tester) Golden() Golden { return t.golden }
+
+// Name returns the kernel name.
+func (t *Tester) Name() string { return t.name }
+
+// Config returns the effective configuration.
+func (t *Tester) Config() Config { return t.cfg }
+
+// runGolden executes one undisturbed run under the given policy (nil =
+// iterator-only) and profiles it.
+func (t *Tester) runGolden(policy *Policy) (Golden, string, error) {
+	k := t.factory()
+	m := sim.NewMachine(t.cfg.NVMBytes, t.cfg.Cache)
+	k.Setup(m)
+	k.Init(m)
+	m.SetPersister(newPolicyPersister(m, k, policy))
+	m.Image().ResetWriteCounters()
+	budget := int64(float64(k.NominalIters()) * t.cfg.MaxIterFactor)
+	executed, err := k.Run(m, 0, budget)
+	if err != nil {
+		return Golden{}, "", fmt.Errorf("nvct: golden run of %s failed: %w", k.Name(), err)
+	}
+	res := k.Result(m)
+	if !k.Verify(m, res) {
+		return Golden{}, "", fmt.Errorf("nvct: golden run of %s does not verify against itself", k.Name())
+	}
+	g := Golden{
+		Iters:          executed,
+		MainAccesses:   m.MainAccesses(),
+		RegionAccesses: m.RegionAccesses(),
+		Result:         res,
+		CacheStats:     m.Hierarchy().Stats(),
+		PersistStats:   m.PersistStats(),
+		NVMWrites:      m.Image().BlockWrites(),
+		Footprint:      m.Space().Footprint(),
+		CandidateBytes: m.Space().CandidateFootprint(),
+		Candidates:     m.Space().Candidates(),
+		Regions:        k.RegionCount(),
+	}
+	return g, k.Name(), nil
+}
+
+// ProfileRun executes one undisturbed run under the given policy and
+// returns its profile (used by the performance model: persistence counts,
+// cache traffic, NVM writes).
+func (t *Tester) ProfileRun(policy *Policy) (Golden, error) {
+	g, _, err := t.runGolden(policy)
+	return g, err
+}
+
+// ProfileRunWith executes one undisturbed run with a caller-built persister
+// (e.g. the checkpoint/restart baseline of package ckpt). makePersister is
+// invoked after kernel setup and initialisation, so it may allocate extra
+// objects (checkpoint shadow space) on the machine.
+func (t *Tester) ProfileRunWith(makePersister func(m *sim.Machine, k apps.Kernel) sim.Persister) (Golden, error) {
+	k := t.factory()
+	m := sim.NewMachine(t.cfg.NVMBytes, t.cfg.Cache)
+	k.Setup(m)
+	k.Init(m)
+	m.SetPersister(makePersister(m, k))
+	m.Image().ResetWriteCounters()
+	budget := int64(float64(k.NominalIters()) * t.cfg.MaxIterFactor)
+	executed, err := k.Run(m, 0, budget)
+	if err != nil {
+		return Golden{}, fmt.Errorf("nvct: profile run of %s failed: %w", k.Name(), err)
+	}
+	return Golden{
+		Iters:          executed,
+		MainAccesses:   m.MainAccesses(),
+		RegionAccesses: m.RegionAccesses(),
+		Result:         k.Result(m),
+		CacheStats:     m.Hierarchy().Stats(),
+		PersistStats:   m.PersistStats(),
+		NVMWrites:      m.Image().BlockWrites(),
+		Footprint:      m.Space().Footprint(),
+		CandidateBytes: m.Space().CandidateFootprint(),
+		Candidates:     m.Space().Candidates(),
+		Regions:        k.RegionCount(),
+	}, nil
+}
+
+// CampaignOpts configures one crash-test campaign.
+type CampaignOpts struct {
+	Tests int
+	Seed  int64
+	// Verified runs the paper's copy-based verification variant (§6
+	// "Result verification"): at the crash point all candidate state is
+	// forced consistent before the dump, as making a data copy would.
+	Verified bool
+	// Parallel is the number of crash tests run concurrently; every test
+	// owns its machines, so campaigns parallelise perfectly. 0 means
+	// GOMAXPROCS; 1 forces serial execution. Results are deterministic for
+	// a given Seed regardless of parallelism.
+	Parallel int
+	// CrashDuringPersistence makes persistence operations crash-eligible:
+	// each flushed block advances the crash clock, so crashes can strike
+	// mid-flush and leave an object set partially persisted. Crash points
+	// are then drawn over the policy's own (demand + flush) tick count.
+	CrashDuringPersistence bool
+}
+
+// RunCampaign runs a crash-test campaign under the given persistence policy
+// (nil = baseline iterator-only).
+func (t *Tester) RunCampaign(policy *Policy, opts CampaignOpts) *Report {
+	if opts.Tests <= 0 {
+		opts.Tests = 100
+	}
+	workers := opts.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > opts.Tests {
+		workers = opts.Tests
+	}
+
+	// Crash points are drawn serially so the campaign is reproducible
+	// independent of scheduling. With crash-eligible persistence the tick
+	// space includes the policy's flush work, measured by one profile run.
+	space := t.golden.MainAccesses
+	if opts.CrashDuringPersistence {
+		g, err := t.profileTicks(policy)
+		if err == nil && g > 0 {
+			space = g
+		}
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	points := make([]uint64, opts.Tests)
+	for i := range points {
+		points[i] = 1 + uint64(rng.Int63n(int64(space)))
+	}
+
+	rep := &Report{
+		Kernel:  t.name,
+		Policy:  policy,
+		Regions: t.golden.Regions,
+		Tests:   make([]TestResult, opts.Tests),
+	}
+	if workers == 1 {
+		for i, crashAt := range points {
+			rep.Tests[i] = t.runOne(policy, crashAt, opts)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					rep.Tests[i] = t.runOne(policy, points[i], opts)
+				}
+			}()
+		}
+		for i := range points {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	for _, res := range rep.Tests {
+		rep.Counts[res.Outcome]++
+	}
+	return rep
+}
+
+// profileTicks measures the policy's total crash-eligible ticks (demand
+// accesses plus flushed blocks) with one undisturbed run.
+func (t *Tester) profileTicks(policy *Policy) (uint64, error) {
+	k := t.factory()
+	m := sim.NewMachine(t.cfg.NVMBytes, t.cfg.Cache)
+	k.Setup(m)
+	k.Init(m)
+	m.SetFlushCrashEligible(true)
+	m.SetPersister(newPolicyPersister(m, k, policy))
+	budget := int64(float64(k.NominalIters()) * t.cfg.MaxIterFactor)
+	if _, err := k.Run(m, 0, budget); err != nil {
+		return 0, err
+	}
+	return m.MainAccesses(), nil
+}
+
+// runOne executes a single crash-and-restart test.
+func (t *Tester) runOne(policy *Policy, crashAt uint64, opts CampaignOpts) TestResult {
+	verified := opts.Verified
+	// Phase 1: run until the crash fires.
+	k := t.factory()
+	m := sim.NewMachine(t.cfg.NVMBytes, t.cfg.Cache)
+	k.Setup(m)
+	k.Init(m)
+	if opts.CrashDuringPersistence {
+		m.SetFlushCrashEligible(true)
+	}
+	m.SetPersister(newPolicyPersister(m, k, policy))
+	m.SetCrashAfter(crashAt)
+
+	crash := t.runToCrash(k, m)
+	if crash == nil {
+		// The crash point exceeded this run's accesses (cannot happen when
+		// the policy does not change demand traffic); treat as S1.
+		return TestResult{CrashAccess: crashAt, CrashRegion: sim.NoRegion, Outcome: S1}
+	}
+
+	// Postmortem: per-candidate inconsistency, then the durable dump.
+	inc := make(map[string]float64, len(t.golden.Candidates))
+	for _, o := range t.golden.Candidates {
+		inc[o.Name] = m.InconsistencyRate(o)
+	}
+	if verified {
+		m.Hierarchy().WriteBackAll()
+	}
+	m.CrashNow()
+	dump := m.Image().Snapshot()
+
+	res := TestResult{
+		CrashAccess:   crash.Access,
+		CrashRegion:   crash.Region,
+		CrashIter:     crash.Iter,
+		Inconsistency: inc,
+	}
+
+	// Phase 2: restart from the dump.
+	outcome, extra, final := t.restart(dump)
+	res.Outcome = outcome
+	res.ExtraIters = extra
+	res.FinalResult = final
+	return res
+}
+
+// runToCrash runs the kernel main loop, returning the crash that fired, or
+// nil if the run completed.
+func (t *Tester) runToCrash(k apps.Kernel, m *sim.Machine) (crash *sim.Crash) {
+	defer func() {
+		if r := recover(); r != nil {
+			c, ok := r.(*sim.Crash)
+			if !ok {
+				panic(r)
+			}
+			crash = c
+		}
+	}()
+	budget := int64(float64(t.golden.Iters) * t.cfg.MaxIterFactor)
+	_, _ = k.Run(m, 0, budget)
+	return nil
+}
+
+// restart re-initialises the application, reloads persisted objects from
+// the dump (Figure 2b), resumes the main loop at the bookmarked iteration,
+// and classifies the outcome.
+func (t *Tester) restart(dump []byte) (Outcome, int64, []float64) {
+	k := t.factory()
+	m := sim.NewMachine(t.cfg.NVMBytes, t.cfg.Cache)
+	k.Setup(m)
+
+	// Read the bookmarked iteration from the dump.
+	itObj := k.IterObject()
+	from := int64(leUint64(dump[itObj.Addr : itObj.Addr+8]))
+	if from < 0 || from > t.golden.Iters {
+		// A corrupted bookmark: the restarted process would index past its
+		// data — the segfault case.
+		return S3, 0, nil
+	}
+
+	k.Init(m)
+	for _, o := range m.Space().Candidates() {
+		m.RestoreObject(o, dump[o.Addr:o.End()])
+	}
+	m.I64(itObj).Set(0, from)
+	if r, ok := k.(Restarter); ok {
+		r.PostRestart(m, from)
+	}
+
+	budget := int64(float64(t.golden.Iters) * t.cfg.MaxIterFactor)
+	executed, err, interrupted := t.runRestart(k, m, from, budget)
+	if interrupted || err != nil {
+		return S3, 0, nil
+	}
+	total := from + executed
+	extra := total - t.golden.Iters
+	if extra < 0 {
+		extra = 0
+	}
+	final := k.Result(m)
+	if !k.Verify(m, t.golden.Result) {
+		return S4, extra, final
+	}
+	if extra > 0 {
+		return S2, extra, final
+	}
+	return S1, 0, final
+}
+
+// runRestart runs the restarted main loop, converting runtime panics from
+// corrupted state (index out of range and friends) into interruptions.
+func (t *Tester) runRestart(k apps.Kernel, m *sim.Machine, from, budget int64) (executed int64, err error, interrupted bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isCrash := r.(*sim.Crash); isCrash {
+				panic(r) // no crash is armed during restart; a bug
+			}
+			interrupted = true
+		}
+	}()
+	executed, err = k.Run(m, from, budget)
+	return executed, err, false
+}
+
+// Restarter is an optional kernel extension: PostRestart recomputes derived
+// (non-candidate) objects from restored candidates before the main loop
+// resumes — the paper's "re-computed based on the candidates".
+type Restarter interface {
+	PostRestart(m *sim.Machine, from int64)
+}
+
+func leUint64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}

@@ -1,0 +1,293 @@
+package nvct_test
+
+import (
+	"testing"
+
+	"easycrash/internal/apps"
+	"easycrash/internal/nvct"
+)
+
+// testers are shared across tests: the golden run is deterministic and
+// read-only once built.
+var testerCache = map[string]*nvct.Tester{}
+
+func tester(t *testing.T, kernel string) *nvct.Tester {
+	t.Helper()
+	if tt, ok := testerCache[kernel]; ok {
+		return tt
+	}
+	f, err := apps.New(kernel, apps.ProfileTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt, err := nvct.NewTester(f, nvct.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testerCache[kernel] = tt
+	return tt
+}
+
+func TestOutcomeString(t *testing.T) {
+	want := map[nvct.Outcome]string{nvct.S1: "S1", nvct.S2: "S2", nvct.S3: "S3", nvct.S4: "S4", nvct.Outcome(7): "Outcome(7)"}
+	for o, s := range want {
+		if o.String() != s {
+			t.Errorf("Outcome(%d).String() = %q, want %q", int(o), o.String(), s)
+		}
+	}
+}
+
+func TestGoldenProfile(t *testing.T) {
+	tt := tester(t, "mg")
+	g := tt.Golden()
+	if g.Iters != 10 {
+		t.Fatalf("golden iters = %d", g.Iters)
+	}
+	if g.MainAccesses == 0 || g.Footprint == 0 || g.CandidateBytes == 0 {
+		t.Fatalf("incomplete golden profile: %+v", g)
+	}
+	if g.Regions != 4 || len(g.Candidates) == 0 {
+		t.Fatalf("golden regions/candidates: %d/%d", g.Regions, len(g.Candidates))
+	}
+	var sum uint64
+	for _, n := range g.RegionAccesses {
+		sum += n
+	}
+	if sum != g.MainAccesses {
+		t.Fatalf("region accesses %d do not add to main accesses %d", sum, g.MainAccesses)
+	}
+	if tt.Name() != "mg" {
+		t.Fatalf("Name = %q", tt.Name())
+	}
+}
+
+func TestCampaignClassifiesEveryTest(t *testing.T) {
+	tt := tester(t, "mg")
+	rep := tt.RunCampaign(nil, nvct.CampaignOpts{Tests: 25, Seed: 7})
+	if len(rep.Tests) != 25 {
+		t.Fatalf("got %d tests", len(rep.Tests))
+	}
+	total := rep.Counts[0] + rep.Counts[1] + rep.Counts[2] + rep.Counts[3]
+	if total != 25 {
+		t.Fatalf("counts %v do not add to 25", rep.Counts)
+	}
+	for _, tr := range rep.Tests {
+		if tr.CrashAccess == 0 || tr.CrashAccess > tt.Golden().MainAccesses {
+			t.Fatalf("crash access %d outside the run", tr.CrashAccess)
+		}
+		if tr.CrashIter < 0 || tr.CrashIter >= tt.Golden().Iters {
+			t.Fatalf("crash iteration %d outside the run", tr.CrashIter)
+		}
+		if len(tr.Inconsistency) != len(tt.Golden().Candidates) {
+			t.Fatalf("inconsistency rates missing: %v", tr.Inconsistency)
+		}
+		for name, rate := range tr.Inconsistency {
+			if rate < 0 || rate > 1 {
+				t.Fatalf("object %s rate %v outside [0,1]", name, rate)
+			}
+		}
+		if tr.Success() != (tr.Outcome == nvct.S1 || tr.Outcome == nvct.S2) {
+			t.Fatal("Success() inconsistent with outcome")
+		}
+	}
+}
+
+func TestCampaignDeterministicForSeed(t *testing.T) {
+	tt := tester(t, "lu")
+	a := tt.RunCampaign(nil, nvct.CampaignOpts{Tests: 15, Seed: 3})
+	b := tt.RunCampaign(nil, nvct.CampaignOpts{Tests: 15, Seed: 3})
+	for i := range a.Tests {
+		if a.Tests[i].CrashAccess != b.Tests[i].CrashAccess || a.Tests[i].Outcome != b.Tests[i].Outcome {
+			t.Fatalf("test %d differs across identical campaigns", i)
+		}
+	}
+	c := tt.RunCampaign(nil, nvct.CampaignOpts{Tests: 15, Seed: 4})
+	same := true
+	for i := range a.Tests {
+		if a.Tests[i].CrashAccess != c.Tests[i].CrashAccess {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical crash points")
+	}
+}
+
+func TestPersistencePolicyImprovesRecomputability(t *testing.T) {
+	// The paper's central claim at unit-test scale: persisting the right
+	// object raises S1 substantially for LU.
+	tt := tester(t, "lu")
+	base := tt.RunCampaign(nil, nvct.CampaignOpts{Tests: 30, Seed: 11})
+	ec := tt.RunCampaign(nvct.IterationPolicy([]string{"u", "scal"}), nvct.CampaignOpts{Tests: 30, Seed: 11})
+	if ec.Recomputability() < base.Recomputability()+0.3 {
+		t.Fatalf("persisting u: %.2f -> %.2f, want a large improvement",
+			base.Recomputability(), ec.Recomputability())
+	}
+}
+
+func TestReportAggregates(t *testing.T) {
+	tt := tester(t, "mg")
+	rep := tt.RunCampaign(nil, nvct.CampaignOpts{Tests: 20, Seed: 5})
+	if r := rep.Recomputability(); r < 0 || r > 1 {
+		t.Fatalf("recomputability %v", r)
+	}
+	if s := rep.SuccessRate(); s < rep.Recomputability() {
+		t.Fatal("success rate below S1 rate")
+	}
+	rec, tests := rep.RegionRecomputability()
+	var n int
+	for k, c := range tests {
+		n += c
+		if rec[k] < 0 || rec[k] > 1 {
+			t.Fatalf("region %d recomputability %v", k, rec[k])
+		}
+	}
+	if n != 20 {
+		t.Fatalf("per-region tests add to %d", n)
+	}
+	vectors := rep.InconsistencyVectors()
+	for name, v := range vectors {
+		if len(v[0]) != 20 || len(v[1]) != 20 {
+			t.Fatalf("object %s vectors truncated", name)
+		}
+	}
+	if rep.AvgExtraIters() != 0 {
+		// MG is fixed-iteration: successes never use extra iterations.
+		t.Fatalf("MG extra iters = %v", rep.AvgExtraIters())
+	}
+}
+
+func TestEmptyReportAggregates(t *testing.T) {
+	rep := &nvct.Report{}
+	if rep.Recomputability() != 0 || rep.SuccessRate() != 0 || rep.AvgExtraIters() != 0 {
+		t.Fatal("empty report aggregates should be zero")
+	}
+}
+
+func TestVerifiedCampaignAtLeastAsGoodAsBaseline(t *testing.T) {
+	tt := tester(t, "lu")
+	base := tt.RunCampaign(nil, nvct.CampaignOpts{Tests: 25, Seed: 9})
+	vfy := tt.RunCampaign(nil, nvct.CampaignOpts{Tests: 25, Seed: 9, Verified: true})
+	if vfy.Recomputability() < base.Recomputability() {
+		t.Fatalf("verified campaign (%v) below baseline (%v)", vfy.Recomputability(), base.Recomputability())
+	}
+}
+
+func TestConvergentKernelReportsExtraIterations(t *testing.T) {
+	tt := tester(t, "kmeans")
+	rep := tt.RunCampaign(nil, nvct.CampaignOpts{Tests: 30, Seed: 13})
+	if rep.Counts[nvct.S2] == 0 {
+		t.Fatal("kmeans baseline produced no S2 (extra-iteration) responses")
+	}
+	if rep.AvgExtraIters() <= 0 {
+		t.Fatalf("AvgExtraIters = %v, want > 0", rep.AvgExtraIters())
+	}
+}
+
+func TestEPUnrecoverable(t *testing.T) {
+	tt := tester(t, "ep")
+	for _, policy := range []*nvct.Policy{nil, nvct.IterationPolicy([]string{"sums", "hist", "xbuf"})} {
+		rep := tt.RunCampaign(policy, nvct.CampaignOpts{Tests: 25, Seed: 17})
+		if rep.Recomputability() > 0.1 {
+			t.Fatalf("EP recomputability %v, want ~0 (paper: below 3%%)", rep.Recomputability())
+		}
+	}
+}
+
+func TestISBaselineInterrupts(t *testing.T) {
+	tt := tester(t, "is")
+	rep := tt.RunCampaign(nil, nvct.CampaignOpts{Tests: 30, Seed: 19})
+	if rep.Counts[nvct.S3] == 0 {
+		t.Fatal("IS baseline produced no interruptions (paper: segfaults)")
+	}
+}
+
+func TestProfileRunCountsPersistenceWork(t *testing.T) {
+	tt := tester(t, "mg")
+	base, err := tt.ProfileRun(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.PersistStats.Operations != 0 {
+		t.Fatalf("baseline persistence ops = %d", base.PersistStats.Operations)
+	}
+	ec, err := tt.ProfileRun(nvct.IterationPolicy([]string{"u"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ec.PersistStats.Operations != uint64(tt.Golden().Iters) {
+		t.Fatalf("persistence ops = %d, want one per iteration (%d)",
+			ec.PersistStats.Operations, tt.Golden().Iters)
+	}
+	if ec.PersistStats.DirtyFlushed == 0 {
+		t.Fatal("no dirty flushes recorded")
+	}
+	if ec.NVMWrites <= base.NVMWrites {
+		t.Fatal("persistence should add NVM writes over the baseline")
+	}
+}
+
+func TestEveryRegionPolicyShape(t *testing.T) {
+	p := nvct.EveryRegionPolicy([]string{"a"}, 3)
+	if len(p.AtRegionEnds) != 3 || !p.AtIterationEnd || p.Frequency != 1 {
+		t.Fatalf("EveryRegionPolicy = %+v", p)
+	}
+	q := nvct.IterationPolicy([]string{"a"})
+	if q.AtIterationEnd != true || len(q.AtRegionEnds) != 0 {
+		t.Fatalf("IterationPolicy = %+v", q)
+	}
+}
+
+func TestFrequencyThrottlesPersistence(t *testing.T) {
+	tt := tester(t, "mg")
+	p := nvct.IterationPolicy([]string{"u"})
+	p.Frequency = 2
+	g, err := tt.ProfileRun(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.PersistStats.Operations != uint64(tt.Golden().Iters/2) {
+		t.Fatalf("frequency-2 persistence ops = %d, want %d", g.PersistStats.Operations, tt.Golden().Iters/2)
+	}
+}
+
+func TestCrashDuringPersistence(t *testing.T) {
+	tt := tester(t, "mg")
+	policy := nvct.IterationPolicy([]string{"u"})
+	plain := tt.RunCampaign(policy, nvct.CampaignOpts{Tests: 30, Seed: 23})
+	during := tt.RunCampaign(policy, nvct.CampaignOpts{Tests: 30, Seed: 23, CrashDuringPersistence: true})
+	// Every test still classifies.
+	total := during.Counts[0] + during.Counts[1] + during.Counts[2] + during.Counts[3]
+	if total != 30 {
+		t.Fatalf("counts %v", during.Counts)
+	}
+	// Interrupting persistence can only hurt (or match) recomputability:
+	// partially flushed state adds a failure window.
+	if during.Recomputability() > plain.Recomputability()+0.1 {
+		t.Fatalf("crash-during-persistence improved recomputability: %.2f vs %.2f",
+			during.Recomputability(), plain.Recomputability())
+	}
+	// Determinism for a fixed seed.
+	again := tt.RunCampaign(policy, nvct.CampaignOpts{Tests: 30, Seed: 23, CrashDuringPersistence: true})
+	for i := range during.Tests {
+		if during.Tests[i].CrashAccess != again.Tests[i].CrashAccess ||
+			during.Tests[i].Outcome != again.Tests[i].Outcome {
+			t.Fatal("crash-during-persistence campaign not deterministic")
+		}
+	}
+}
+
+func TestParallelCampaignMatchesSerial(t *testing.T) {
+	tt := tester(t, "lu")
+	serial := tt.RunCampaign(nil, nvct.CampaignOpts{Tests: 12, Seed: 29, Parallel: 1})
+	parallel := tt.RunCampaign(nil, nvct.CampaignOpts{Tests: 12, Seed: 29, Parallel: 4})
+	for i := range serial.Tests {
+		if serial.Tests[i].CrashAccess != parallel.Tests[i].CrashAccess ||
+			serial.Tests[i].Outcome != parallel.Tests[i].Outcome {
+			t.Fatalf("test %d differs between serial and parallel execution", i)
+		}
+	}
+	if serial.Counts != parallel.Counts {
+		t.Fatalf("counts differ: %v vs %v", serial.Counts, parallel.Counts)
+	}
+}

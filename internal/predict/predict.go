@@ -1,0 +1,267 @@
+// Package predict implements the extension the paper sketches in its
+// Discussions section (§8): predicting application recomputability from an
+// application-characterisation study instead of expensive crash-test
+// campaigns. "We can detect computation patterns that tolerate computation
+// inaccuracy ... Then we set up a model to correlate those patterns and
+// application recomputability. Given an application, we simply count those
+// patterns and use the model to predict recomputability without any crash
+// test."
+//
+// The characterisation runs one instrumented golden run per kernel and
+// extracts access-pattern features of the candidate data objects that
+// govern replay exactness:
+//
+//   - how much candidate state is dirty (not yet durable) at iteration
+//     boundaries — the natural-persistence deficit;
+//   - the fraction of candidate stores that are read-modify-write — the
+//     non-idempotent updates that break crashed-iteration replay;
+//   - how completely candidate objects are rewritten each iteration —
+//     commit-style state is replayable, incrementally mutated state is not;
+//   - whether the kernel is convergence-driven (it can absorb perturbation
+//     with extra iterations).
+//
+// A linear model fitted over characterised kernels (ordinary least squares
+// on the normal equations) then predicts the recomputability of unseen
+// applications.
+package predict
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"easycrash/internal/apps"
+	"easycrash/internal/cachesim"
+	"easycrash/internal/mem"
+	"easycrash/internal/sim"
+)
+
+// Features is the per-kernel characterisation vector.
+type Features struct {
+	Kernel string
+	// DirtyAtIterEnd is the mean fraction of candidate bytes whose durable
+	// copy differs from the architectural state at iteration boundaries.
+	DirtyAtIterEnd float64
+	// RMWStoreFrac is the fraction of candidate-object stores whose target
+	// word was loaded earlier in the same iteration (read-modify-write).
+	RMWStoreFrac float64
+	// RewriteCoverage is the mean per-iteration fraction of candidate words
+	// overwritten.
+	RewriteCoverage float64
+	// Convergent is 1 for convergence-driven kernels, else 0.
+	Convergent float64
+}
+
+// Vector returns the feature vector with a leading intercept term.
+func (f Features) Vector() []float64 {
+	return []float64{1, f.DirtyAtIterEnd, f.RMWStoreFrac, f.RewriteCoverage, f.Convergent}
+}
+
+// String formats the features compactly.
+func (f Features) String() string {
+	return fmt.Sprintf("%s{dirty=%.3f rmw=%.3f rewrite=%.3f conv=%.0f}",
+		f.Kernel, f.DirtyAtIterEnd, f.RMWStoreFrac, f.RewriteCoverage, f.Convergent)
+}
+
+// tracker observes one characterisation run.
+type tracker struct {
+	objects []mem.Object
+	base    uint64 // lowest candidate address
+	limit   uint64 // one past the highest candidate address
+	// word-granularity bitsets over the candidate range, reset per iteration
+	loaded, stored []uint64
+	words          int
+
+	iters         int
+	coverageSum   float64
+	rmwStores     uint64
+	totalStores   uint64
+	dirtySum      float64
+	dirtyDenom    float64
+	machine       *sim.Machine
+	candidateSpan uint64
+}
+
+func newTracker(m *sim.Machine) *tracker {
+	t := &tracker{machine: m}
+	t.objects = m.Space().Candidates()
+	if len(t.objects) == 0 {
+		return t
+	}
+	t.base = t.objects[0].Addr
+	t.limit = t.objects[len(t.objects)-1].End()
+	t.words = int((t.limit - t.base + 7) / 8)
+	t.loaded = make([]uint64, (t.words+63)/64)
+	t.stored = make([]uint64, (t.words+63)/64)
+	for _, o := range t.objects {
+		t.candidateSpan += o.Size
+	}
+	return t
+}
+
+// inRange maps addr to a candidate-range word index, or -1.
+func (t *tracker) wordIndex(addr uint64) int {
+	if addr < t.base || addr >= t.limit {
+		return -1
+	}
+	return int((addr - t.base) / 8)
+}
+
+// Access implements sim.Observer.
+func (t *tracker) Access(addr uint64, size int, store bool) {
+	w := t.wordIndex(addr)
+	if w < 0 {
+		return
+	}
+	idx, bit := w/64, uint(w%64)
+	if store {
+		t.totalStores++
+		if t.loaded[idx]&(1<<bit) != 0 {
+			t.rmwStores++
+		}
+		t.stored[idx] |= 1 << bit
+	} else {
+		t.loaded[idx] |= 1 << bit
+	}
+}
+
+// RegionEnd implements sim.Persister (no persistence during profiling).
+func (t *tracker) RegionEnd(m *sim.Machine, region int, it int64) {}
+
+// IterationEnd implements sim.Persister: fold this iteration's pattern into
+// the running features and reset the bitsets.
+func (t *tracker) IterationEnd(m *sim.Machine, it int64) {
+	if t.words == 0 {
+		return
+	}
+	var covered int
+	for i := range t.stored {
+		covered += bits.OnesCount64(t.stored[i])
+		t.stored[i] = 0
+		t.loaded[i] = 0
+	}
+	// Coverage counts only words inside objects (the alignment gaps between
+	// objects are never written, slightly deflating the ratio; candidate
+	// spans are block-aligned so the bias is < one block per object).
+	t.coverageSum += float64(covered) * 8 / float64(t.candidateSpan)
+	var dirty uint64
+	for _, o := range t.objects {
+		dirty += m.Hierarchy().DirtyBytesIn(o.Addr, o.Size)
+	}
+	t.dirtySum += float64(dirty)
+	t.dirtyDenom += float64(t.candidateSpan)
+	t.iters++
+}
+
+// Characterize runs one instrumented golden run and extracts the kernel's
+// features. No crash tests are performed.
+func Characterize(factory apps.Factory, cache cachesim.Config, nvmBytes uint64) (Features, error) {
+	if cache.Levels == nil {
+		cache = cachesim.TestConfig()
+	}
+	if nvmBytes == 0 {
+		nvmBytes = 64 << 20
+	}
+	k := factory()
+	m := sim.NewMachine(nvmBytes, cache)
+	k.Setup(m)
+	k.Init(m)
+	t := newTracker(m)
+	m.SetObserver(t)
+	m.SetPersister(t)
+	if _, err := k.Run(m, 0, 2*k.NominalIters()); err != nil {
+		return Features{}, fmt.Errorf("predict: characterisation run of %s failed: %w", k.Name(), err)
+	}
+	f := Features{Kernel: k.Name()}
+	if k.Convergent() {
+		f.Convergent = 1
+	}
+	if t.iters > 0 {
+		f.RewriteCoverage = t.coverageSum / float64(t.iters)
+		f.DirtyAtIterEnd = t.dirtySum / t.dirtyDenom
+	}
+	if t.totalStores > 0 {
+		f.RMWStoreFrac = float64(t.rmwStores) / float64(t.totalStores)
+	}
+	return f, nil
+}
+
+// Model is a linear recomputability predictor over Features.
+type Model struct {
+	Coef []float64 // intercept + one coefficient per feature
+}
+
+// ErrSingular reports that the normal equations could not be solved (too
+// few or collinear training kernels).
+var ErrSingular = errors.New("predict: singular normal equations")
+
+// Fit performs ordinary least squares of responses on the feature vectors.
+func Fit(features []Features, responses []float64) (Model, error) {
+	if len(features) != len(responses) || len(features) == 0 {
+		return Model{}, errors.New("predict: need matching, non-empty training data")
+	}
+	p := len(features[0].Vector())
+	// Normal equations: (XᵀX) beta = Xᵀy, solved by Gaussian elimination
+	// with partial pivoting and ridge damping for stability.
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p+1)
+	}
+	for i, f := range features {
+		v := f.Vector()
+		for r := 0; r < p; r++ {
+			for c := 0; c < p; c++ {
+				xtx[r][c] += v[r] * v[c]
+			}
+			xtx[r][p] += v[r] * responses[i]
+		}
+	}
+	const ridge = 1e-6
+	for r := 0; r < p; r++ {
+		xtx[r][r] += ridge
+	}
+	// Gaussian elimination.
+	for col := 0; col < p; col++ {
+		piv := col
+		for r := col + 1; r < p; r++ {
+			if math.Abs(xtx[r][col]) > math.Abs(xtx[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(xtx[piv][col]) < 1e-12 {
+			return Model{}, ErrSingular
+		}
+		xtx[col], xtx[piv] = xtx[piv], xtx[col]
+		for r := 0; r < p; r++ {
+			if r == col {
+				continue
+			}
+			f := xtx[r][col] / xtx[col][col]
+			for c := col; c <= p; c++ {
+				xtx[r][c] -= f * xtx[col][c]
+			}
+		}
+	}
+	coef := make([]float64, p)
+	for r := 0; r < p; r++ {
+		coef[r] = xtx[r][p] / xtx[r][r]
+	}
+	return Model{Coef: coef}, nil
+}
+
+// Predict returns the model's recomputability estimate, clamped to [0, 1].
+func (m Model) Predict(f Features) float64 {
+	v := f.Vector()
+	var y float64
+	for i, c := range m.Coef {
+		y += c * v[i]
+	}
+	if y < 0 {
+		return 0
+	}
+	if y > 1 {
+		return 1
+	}
+	return y
+}

@@ -1,0 +1,388 @@
+// Package sim provides the execution environment the benchmark kernels run
+// on: a Machine that routes every load/store through the simulated cache
+// hierarchy into the simulated NVM image, tracks code regions and main-loop
+// iterations, injects crashes at precise access counts, and invokes a
+// persistence policy (EasyCrash's selective flushing) at region and
+// iteration boundaries.
+//
+// A "crash" is delivered by panicking with a *Crash value when the armed
+// access count is reached; the campaign driver (package nvct) recovers it.
+// Kernels therefore must not hold external resources across accesses.
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"easycrash/internal/cachesim"
+	"easycrash/internal/mem"
+)
+
+// NoRegion is the region ID reported outside any marked code region.
+const NoRegion = -1
+
+// MaxRegions is the largest number of first-level code regions a kernel may
+// mark (the paper's benchmarks have at most 16).
+const MaxRegions = 31
+
+// Crash is the panic payload delivered when an armed crash point fires.
+type Crash struct {
+	Access uint64 // main-loop access index at which the crash fired
+	Region int    // region active at the crash, or NoRegion
+	Iter   int64  // main-loop iteration at the crash
+}
+
+// Error implements error so a recovered *Crash reads naturally in messages.
+func (c *Crash) Error() string {
+	return fmt.Sprintf("simulated crash at access %d (region %d, iteration %d)", c.Access, c.Region, c.Iter)
+}
+
+// Observer receives every demand access issued inside the main loop. It is
+// the hook the application-characterisation study (package predict, after
+// the paper's §8 discussion) uses to extract access-pattern features
+// without crash tests. A nil observer costs one predictable branch per
+// access.
+type Observer interface {
+	// Access reports a demand access of size bytes at addr; store is true
+	// for writes. It is invoked after the access completes.
+	Access(addr uint64, size int, store bool)
+}
+
+// Persister is the persistence policy invoked at kernel-marked boundaries.
+// EasyCrash's production runtime implements it with selective cache flushes;
+// the baseline "no persistence" policy is a nil Persister.
+type Persister interface {
+	// RegionEnd runs at the end of code region. it is the current
+	// main-loop iteration (0-based).
+	RegionEnd(m *Machine, region int, it int64)
+	// IterationEnd runs at the end of each main-loop iteration.
+	IterationEnd(m *Machine, it int64)
+}
+
+// Machine is one simulated node: an object space in NVM behind a cache
+// hierarchy, plus the instrumentation the crash tester needs.
+type Machine struct {
+	space *mem.Space
+	hier  *cachesim.Hierarchy
+
+	core int // current core issuing accesses
+
+	inMainLoop bool
+	mainAccess uint64 // demand accesses issued inside the main loop
+	crashAt    uint64 // fire a crash when mainAccess reaches this; 0 = never
+
+	region       int
+	iter         int64
+	regionAccess [MaxRegions + 1]uint64 // per-region counts; index region+1 (0 = NoRegion)
+	iterations   int64                  // completed main-loop iterations
+
+	persister Persister
+	persist   PersistStats
+	observer  Observer
+
+	// flushCrashes makes persistence work crash-eligible: each flushed
+	// block advances the crash clock, so an armed crash can strike in the
+	// middle of a persistence operation, leaving it partially applied.
+	flushCrashes bool
+
+	buf [8]byte
+}
+
+// PersistStats counts persistence work done by the Persister through the
+// Machine's flush helpers.
+type PersistStats struct {
+	Operations   uint64 // calls to FlushObject/FlushRange groups (persistence operations)
+	BlocksIssued uint64 // block flush instructions issued
+	DirtyFlushed uint64 // blocks actually written back to NVM
+	CleanFlushed uint64 // clean or non-resident blocks (no NVM write)
+}
+
+// NewMachine builds a machine over a fresh object space of the given NVM
+// capacity, with the given cache configuration.
+func NewMachine(nvmBytes uint64, cfg cachesim.Config) *Machine {
+	space := mem.NewSpace(nvmBytes)
+	return &Machine{
+		space:  space,
+		hier:   cachesim.New(cfg, space.Image()),
+		region: NoRegion,
+	}
+}
+
+// Space returns the machine's object space.
+func (m *Machine) Space() *mem.Space { return m.space }
+
+// Image returns the machine's durable NVM image.
+func (m *Machine) Image() *mem.Image { return m.space.Image() }
+
+// Hierarchy returns the machine's cache hierarchy.
+func (m *Machine) Hierarchy() *cachesim.Hierarchy { return m.hier }
+
+// SetPersister installs the persistence policy (nil disables persistence).
+func (m *Machine) SetPersister(p Persister) { m.persister = p }
+
+// SetObserver installs a demand-access observer (nil disables observation).
+func (m *Machine) SetObserver(o Observer) { m.observer = o }
+
+// SetFlushCrashEligible makes flush traffic advance the crash clock, so
+// crashes can interrupt persistence operations mid-way (the window between
+// "right after cache flushing" consistency points the paper describes in
+// §1). Off by default: the paper's campaigns trigger crashes on demand
+// accesses.
+func (m *Machine) SetFlushCrashEligible(v bool) { m.flushCrashes = v }
+
+// PersistStats returns the persistence counters accumulated so far.
+func (m *Machine) PersistStats() PersistStats { return m.persist }
+
+// OnCore directs subsequent accesses to the given core (for multi-core
+// cache configurations).
+func (m *Machine) OnCore(core int) { m.core = core }
+
+// SetCrashAfter arms a crash to fire when the n-th demand access inside the
+// main loop is issued (1-based). n = 0 disarms.
+func (m *Machine) SetCrashAfter(n uint64) { m.crashAt = n }
+
+// MainAccesses returns the number of demand accesses issued inside the main
+// loop so far. After a golden run this is the size of the crash-point space.
+func (m *Machine) MainAccesses() uint64 { return m.mainAccess }
+
+// RegionAccesses returns per-region main-loop access counts (key NoRegion
+// holds accesses outside marked regions). The ratios are the a_k weights of
+// the paper's Equation 1.
+func (m *Machine) RegionAccesses() map[int]uint64 {
+	out := make(map[int]uint64)
+	for i, v := range m.regionAccess {
+		if v != 0 {
+			out[i-1] = v
+		}
+	}
+	return out
+}
+
+// Iterations returns the number of completed main-loop iterations.
+func (m *Machine) Iterations() int64 { return m.iterations }
+
+// MainLoopBegin marks the start of the main computation loop: subsequent
+// accesses are crash-eligible and attributed to regions.
+func (m *Machine) MainLoopBegin() { m.inMainLoop = true }
+
+// MainLoopEnd marks the end of the main computation loop.
+func (m *Machine) MainLoopEnd() { m.inMainLoop = false; m.region = NoRegion }
+
+// BeginIteration records the current main-loop iteration number (0-based).
+func (m *Machine) BeginIteration(it int64) { m.iter = it }
+
+// EndIteration invokes the persistence policy for the iteration boundary.
+func (m *Machine) EndIteration(it int64) {
+	m.iterations++
+	if m.persister != nil {
+		m.persister.IterationEnd(m, it)
+	}
+}
+
+// BeginRegion marks entry into first-level code region k (0-based,
+// k < MaxRegions).
+func (m *Machine) BeginRegion(k int) {
+	if k < 0 || k >= MaxRegions {
+		panic(fmt.Sprintf("sim: region %d out of range [0,%d)", k, MaxRegions))
+	}
+	m.region = k
+}
+
+// EndRegion marks exit from code region k and invokes the persistence
+// policy for the region boundary.
+func (m *Machine) EndRegion(k int) {
+	if m.persister != nil {
+		m.persister.RegionEnd(m, k, m.iter)
+	}
+	m.region = NoRegion
+}
+
+// Region returns the currently active region, or NoRegion.
+func (m *Machine) Region() int { return m.region }
+
+// CurrentIteration returns the iteration recorded by BeginIteration.
+func (m *Machine) CurrentIteration() int64 { return m.iter }
+
+// account counts one demand access and fires the armed crash if reached.
+func (m *Machine) account() {
+	if !m.inMainLoop {
+		return
+	}
+	m.mainAccess++
+	m.regionAccess[m.region+1]++
+	if m.crashAt != 0 && m.mainAccess >= m.crashAt {
+		m.crashAt = 0
+		panic(&Crash{Access: m.mainAccess, Region: m.region, Iter: m.iter})
+	}
+}
+
+// LoadF64 loads a float64 through the cache.
+func (m *Machine) LoadF64(addr uint64) float64 {
+	m.account()
+	m.hier.Load(m.core, addr, m.buf[:])
+	if m.observer != nil {
+		m.observer.Access(addr, 8, false)
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(m.buf[:]))
+}
+
+// StoreF64 stores a float64 through the cache.
+func (m *Machine) StoreF64(addr uint64, v float64) {
+	m.account()
+	binary.LittleEndian.PutUint64(m.buf[:], math.Float64bits(v))
+	m.hier.Store(m.core, addr, m.buf[:])
+	if m.observer != nil {
+		m.observer.Access(addr, 8, true)
+	}
+}
+
+// LoadI64 loads an int64 through the cache.
+func (m *Machine) LoadI64(addr uint64) int64 {
+	m.account()
+	m.hier.Load(m.core, addr, m.buf[:])
+	if m.observer != nil {
+		m.observer.Access(addr, 8, false)
+	}
+	return int64(binary.LittleEndian.Uint64(m.buf[:]))
+}
+
+// StoreI64 stores an int64 through the cache.
+func (m *Machine) StoreI64(addr uint64, v int64) {
+	m.account()
+	binary.LittleEndian.PutUint64(m.buf[:], uint64(v))
+	m.hier.Store(m.core, addr, m.buf[:])
+	if m.observer != nil {
+		m.observer.Access(addr, 8, true)
+	}
+}
+
+// F64 returns a typed view of an object holding float64 elements.
+func (m *Machine) F64(o mem.Object) F64Slice { return F64Slice{m: m, o: o} }
+
+// I64 returns a typed view of an object holding int64 elements.
+func (m *Machine) I64(o mem.Object) I64Slice { return I64Slice{m: m, o: o} }
+
+// F64Slice is an array-of-float64 view over a data object; every element
+// access is a demand access through the cache.
+type F64Slice struct {
+	m *Machine
+	o mem.Object
+}
+
+// Len returns the element count.
+func (s F64Slice) Len() int { return int(s.o.Size / 8) }
+
+// At loads element i.
+func (s F64Slice) At(i int) float64 { return s.m.LoadF64(s.o.Addr + uint64(i)*8) }
+
+// Set stores element i.
+func (s F64Slice) Set(i int, v float64) { s.m.StoreF64(s.o.Addr+uint64(i)*8, v) }
+
+// Object returns the underlying data object.
+func (s F64Slice) Object() mem.Object { return s.o }
+
+// I64Slice is an array-of-int64 view over a data object.
+type I64Slice struct {
+	m *Machine
+	o mem.Object
+}
+
+// Len returns the element count.
+func (s I64Slice) Len() int { return int(s.o.Size / 8) }
+
+// At loads element i.
+func (s I64Slice) At(i int) int64 { return s.m.LoadI64(s.o.Addr + uint64(i)*8) }
+
+// Set stores element i.
+func (s I64Slice) Set(i int, v int64) { s.m.StoreI64(s.o.Addr+uint64(i)*8, v) }
+
+// Object returns the underlying data object.
+func (s I64Slice) Object() mem.Object { return s.o }
+
+// FlushObject persists one data object with the given flush instruction,
+// counting one persistence operation. By default flush traffic is not
+// demand traffic — it cannot fire crashes and is not attributed to regions —
+// unless SetFlushCrashEligible made persistence interruptible.
+func (m *Machine) FlushObject(o mem.Object, op cachesim.FlushOp) cachesim.FlushResult {
+	r := m.flushRange(o.Addr, o.Size, op)
+	m.persist.Operations++
+	m.persist.BlocksIssued += r.Blocks
+	m.persist.DirtyFlushed += r.DirtyFlushed
+	m.persist.CleanFlushed += r.CleanFlushed
+	return r
+}
+
+// flushRange flushes [addr, addr+size), block by block when persistence is
+// crash-eligible so an armed crash can strike between block flushes.
+func (m *Machine) flushRange(addr, size uint64, op cachesim.FlushOp) cachesim.FlushResult {
+	if !m.flushCrashes || size == 0 {
+		return m.hier.Flush(addr, size, op)
+	}
+	var total cachesim.FlushResult
+	first := addr &^ (cachesim.BlockSize - 1)
+	for blk := first; blk < addr+size; blk += cachesim.BlockSize {
+		lo, hi := blk, blk+cachesim.BlockSize
+		if lo < addr {
+			lo = addr
+		}
+		if hi > addr+size {
+			hi = addr + size
+		}
+		r := m.hier.Flush(lo, hi-lo, op)
+		total.Blocks += r.Blocks
+		total.DirtyFlushed += r.DirtyFlushed
+		total.CleanFlushed += r.CleanFlushed
+		m.account() // one crash-clock tick per block flush
+	}
+	return total
+}
+
+// FlushObjects persists several objects as one persistence operation (the
+// paper counts one "persistence operation" per boundary, covering all
+// critical objects flushed there).
+func (m *Machine) FlushObjects(objs []mem.Object, op cachesim.FlushOp) cachesim.FlushResult {
+	var total cachesim.FlushResult
+	for _, o := range objs {
+		r := m.flushRange(o.Addr, o.Size, op)
+		total.Blocks += r.Blocks
+		total.DirtyFlushed += r.DirtyFlushed
+		total.CleanFlushed += r.CleanFlushed
+	}
+	m.persist.Operations++
+	m.persist.BlocksIssued += total.Blocks
+	m.persist.DirtyFlushed += total.DirtyFlushed
+	m.persist.CleanFlushed += total.CleanFlushed
+	return total
+}
+
+// InconsistencyRate returns the fraction of an object's bytes whose cached
+// (architectural) value differs from the durable NVM value — the paper's
+// per-object data inconsistent rate at a crash point.
+func (m *Machine) InconsistencyRate(o mem.Object) float64 {
+	if o.Size == 0 {
+		return 0
+	}
+	return float64(m.hier.DirtyBytesIn(o.Addr, o.Size)) / float64(o.Size)
+}
+
+// Crash simulates the machine losing power: all volatile cache contents are
+// discarded. The NVM image retains only data that had been written back.
+func (m *Machine) CrashNow() { m.hier.DropAll() }
+
+// RestoreObject stores data over the object through the cache in block-sized
+// chunks — the restart-time load_value of the paper's Figure 2(b), copying a
+// post-crash NVM dump back into a freshly initialised object. It must be
+// called outside the main loop (restart phase), so it is not crash-eligible.
+func (m *Machine) RestoreObject(o mem.Object, data []byte) {
+	if uint64(len(data)) != o.Size {
+		panic(fmt.Sprintf("sim: restore size %d != object %s size %d", len(data), o.Name, o.Size))
+	}
+	for off := uint64(0); off < o.Size; off += cachesim.BlockSize {
+		end := off + cachesim.BlockSize
+		if end > o.Size {
+			end = o.Size
+		}
+		m.hier.Store(m.core, o.Addr+off, data[off:end])
+	}
+}

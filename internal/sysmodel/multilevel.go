@@ -1,0 +1,111 @@
+package sysmodel
+
+import (
+	"errors"
+	"math"
+)
+
+// MultiLevelParams extends the §7 model to the two-level checkpoint
+// hierarchy the paper's setup assumes (checkpoints written to local SSD and
+// migrated asynchronously to remote storage, after Mohror et al.): a
+// fraction of failures is node-local and recoverable from the cheap local
+// checkpoint; the rest (whole-rack or storage failures) must restore the
+// expensive remote copy.
+type MultiLevelParams struct {
+	Params
+	// TChkRemote is the cost of hardening one checkpoint to remote storage;
+	// the asynchronous migration consumes bandwidth but only a BlockFactor
+	// fraction of it stalls the application.
+	TChkRemote float64
+	// BlockFactor is the fraction of TChkRemote that blocks computation
+	// (0 = fully asynchronous, 1 = synchronous); default 0.1.
+	BlockFactor float64
+	// LocalCoverage is the fraction of failures recoverable from the local
+	// level; default 0.85 (after the SCR studies the paper cites).
+	LocalCoverage float64
+	// TRRemote is the remote recovery time; default TChkRemote.
+	TRRemote float64
+}
+
+func (p MultiLevelParams) withDefaults() MultiLevelParams {
+	p.Params = p.Params.withDefaults()
+	if p.BlockFactor == 0 {
+		p.BlockFactor = 0.1
+	}
+	if p.LocalCoverage == 0 {
+		p.LocalCoverage = 0.85
+	}
+	if p.TRRemote == 0 {
+		p.TRRemote = p.TChkRemote
+	}
+	return p
+}
+
+// MultiLevelBaseline evaluates system efficiency under two-level C/R
+// without EasyCrash.
+func MultiLevelBaseline(p MultiLevelParams) (float64, error) {
+	p = p.withDefaults()
+	if p.MTBF <= 0 || p.TChk <= 0 || p.TChkRemote < 0 {
+		return 0, ErrBadParams
+	}
+	if p.LocalCoverage < 0 || p.LocalCoverage > 1 {
+		return 0, errors.New("sysmodel: LocalCoverage must be in [0,1]")
+	}
+	// Effective per-checkpoint cost: the local write plus the blocking
+	// share of the remote migration.
+	tchk := p.TChk + p.BlockFactor*p.TChkRemote
+	T := YoungInterval(tchk, p.MTBF)
+	M := p.TotalTime / p.MTBF
+	perCrash := T/2 + p.TSync + p.LocalCoverage*p.TR + (1-p.LocalCoverage)*p.TRRemote
+	useful := (p.TotalTime - M*perCrash) / (1 + tchk/T)
+	if useful < 0 {
+		useful = 0
+	}
+	return useful / p.TotalTime, nil
+}
+
+// MultiLevelWithEasyCrash evaluates two-level C/R combined with EasyCrash:
+// a fraction R of crashes restarts from NVM without touching either
+// checkpoint level.
+func MultiLevelWithEasyCrash(p MultiLevelParams) (float64, error) {
+	p = p.withDefaults()
+	if p.MTBF <= 0 || p.TChk <= 0 {
+		return 0, ErrBadParams
+	}
+	if p.R < 0 || p.R > 1 {
+		return 0, errors.New("sysmodel: R must be in [0,1]")
+	}
+	tchk := p.TChk + p.BlockFactor*p.TChkRemote
+	mtbfEC := math.Inf(1)
+	if p.R < 1 {
+		mtbfEC = p.MTBF / (1 - p.R)
+	}
+	TPrime := YoungInterval(tchk, mtbfEC)
+	if math.IsInf(TPrime, 1) {
+		TPrime = p.TotalTime
+	}
+	M := p.TotalTime / p.MTBF
+	rollback := M * (1 - p.R)
+	recompute := M * p.R
+	perRollback := TPrime/2 + p.TSync + p.LocalCoverage*p.TR + (1-p.LocalCoverage)*p.TRRemote
+	lost := rollback*perRollback + recompute*(p.TRPrime+p.TSync)
+	useful := (p.TotalTime - lost) / ((1 + p.Ts) * (1 + tchk/TPrime))
+	if useful < 0 {
+		useful = 0
+	}
+	return useful / p.TotalTime, nil
+}
+
+// MultiLevelImprovement returns baseline, EasyCrash, and gain for the
+// two-level model.
+func MultiLevelImprovement(p MultiLevelParams) (base, ec, gain float64, err error) {
+	base, err = MultiLevelBaseline(p)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	ec, err = MultiLevelWithEasyCrash(p)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return base, ec, ec - base, nil
+}

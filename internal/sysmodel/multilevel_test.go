@@ -1,0 +1,112 @@
+package sysmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mlParams(r float64) MultiLevelParams {
+	return MultiLevelParams{
+		Params:     params(12*3600, 320, r),
+		TChkRemote: 3200,
+	}
+}
+
+func TestMultiLevelBaselineSanity(t *testing.T) {
+	b, err := MultiLevelBaseline(mlParams(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b <= 0 || b >= 1 {
+		t.Fatalf("baseline = %v", b)
+	}
+	// Two-level with mostly-local recovery must beat a single level whose
+	// every checkpoint costs the remote price.
+	slow, err := Baseline(params(12*3600, 320+3200, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b <= slow {
+		t.Fatalf("two-level (%v) not better than synchronous remote (%v)", b, slow)
+	}
+	if _, err := MultiLevelBaseline(MultiLevelParams{}); err == nil {
+		t.Fatal("zero params accepted")
+	}
+	bad := mlParams(0)
+	bad.LocalCoverage = 2
+	if _, err := MultiLevelBaseline(bad); err == nil {
+		t.Fatal("LocalCoverage > 1 accepted")
+	}
+}
+
+func TestMultiLevelEasyCrashImproves(t *testing.T) {
+	base, ec, gain, err := MultiLevelImprovement(mlParams(0.82))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ec <= base || gain <= 0 {
+		t.Fatalf("no improvement: base %v ec %v", base, ec)
+	}
+	if _, err := MultiLevelWithEasyCrash(func() MultiLevelParams { p := mlParams(1.5); return p }()); err == nil {
+		t.Fatal("R > 1 accepted")
+	}
+	// R = 1 is well defined.
+	p := mlParams(1)
+	if _, err := MultiLevelWithEasyCrash(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiLevelDefaults(t *testing.T) {
+	p := mlParams(0).withDefaults()
+	if p.BlockFactor != 0.1 || p.LocalCoverage != 0.85 || p.TRRemote != p.TChkRemote {
+		t.Fatalf("defaults = %+v", p)
+	}
+}
+
+// Property: efficiencies stay in [0,1]; more local coverage never hurts;
+// EasyCrash efficiency is monotone in R.
+func TestQuickMultiLevelBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tchk := 10 + rng.Float64()*1000
+		p := MultiLevelParams{
+			Params: Params{
+				MTBF:      3600 * (1 + rng.Float64()*23),
+				TChk:      tchk,
+				Ts:        rng.Float64() * 0.05,
+				DataBytes: rng.Float64() * 1e9,
+			},
+			// Remote checkpoints (and hence remote recovery) cost at least
+			// as much as local ones, or higher coverage could "hurt".
+			TChkRemote:    tchk + 100 + rng.Float64()*5000,
+			LocalCoverage: 0.3 + rng.Float64()*0.7,
+			BlockFactor:   0.05 + rng.Float64()*0.5,
+		}
+		b, err := MultiLevelBaseline(p)
+		if err != nil || b < 0 || b > 1 {
+			return false
+		}
+		better := p
+		better.LocalCoverage = math.Min(1, p.LocalCoverage+0.2)
+		b2, err := MultiLevelBaseline(better)
+		if err != nil || b2 < b-1e-12 {
+			return false
+		}
+		prev := -1.0
+		for _, r := range []float64{0, 0.5, 1} {
+			p.R = r
+			e, err := MultiLevelWithEasyCrash(p)
+			if err != nil || e < 0 || e > 1 || e < prev-1e-12 {
+				return false
+			}
+			prev = e
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,208 @@
+// Package sysmodel implements the paper's §7 end-to-end emulator of a
+// large-scale HPC system running under synchronous coordinated
+// checkpoint/restart, with and without EasyCrash (Equations 6-9, Young's
+// checkpoint-interval formula, and the MTBF scaling used for Figures 10
+// and 11), plus the derivation of the recomputability threshold τ.
+package sysmodel
+
+import (
+	"errors"
+	"math"
+)
+
+// Params describes one modelled deployment.
+type Params struct {
+	// MTBF is the system mean time between failures, in seconds.
+	MTBF float64
+	// TChk is the time to write one system checkpoint, in seconds.
+	TChk float64
+	// TR is the time to recover from the previous checkpoint; the paper
+	// assumes TR = TChk when zero.
+	TR float64
+	// TSync is the coordination overhead per recovery; the paper assumes
+	// 50% of TChk when zero.
+	TSync float64
+	// TotalTime is the modelled horizon in seconds (the paper uses 10
+	// years); zero means 10 years.
+	TotalTime float64
+
+	// R is the application recomputability achieved with EasyCrash.
+	R float64
+	// Ts is EasyCrash's runtime overhead (e.g. 0.015).
+	Ts float64
+	// TRPrime is the EasyCrash recovery time: reloading data objects from
+	// NVM-resident state. When zero it is derived from DataBytes and
+	// NVMBandwidth.
+	TRPrime float64
+	// DataBytes is the non-read-only data size reloaded at an EasyCrash
+	// restart; NVMBandwidth is the NVM read bandwidth in bytes/second
+	// (defaults to 100 GB/s, the paper's DRAM-emulated value).
+	DataBytes    float64
+	NVMBandwidth float64
+}
+
+const tenYears = 10 * 365 * 24 * 3600.0
+
+func (p Params) withDefaults() Params {
+	if p.TR == 0 {
+		p.TR = p.TChk
+	}
+	if p.TSync == 0 {
+		p.TSync = 0.5 * p.TChk
+	}
+	if p.TotalTime == 0 {
+		p.TotalTime = tenYears
+	}
+	if p.NVMBandwidth == 0 {
+		p.NVMBandwidth = 100e9
+	}
+	if p.TRPrime == 0 {
+		p.TRPrime = p.DataBytes / p.NVMBandwidth
+	}
+	return p
+}
+
+// ErrBadParams reports non-positive MTBF or checkpoint time.
+var ErrBadParams = errors.New("sysmodel: MTBF and TChk must be positive")
+
+// YoungInterval returns Young's optimal checkpoint interval
+// T = sqrt(2·TChk·MTBF).
+func YoungInterval(tchk, mtbf float64) float64 {
+	return math.Sqrt(2 * tchk * mtbf)
+}
+
+// Baseline evaluates system efficiency without EasyCrash (Equations 6-7):
+// the fraction of the horizon spent on useful computation, after checkpoint
+// overhead and per-crash losses (half an interval of wasted work plus
+// recovery and synchronisation).
+func Baseline(p Params) (float64, error) {
+	p = p.withDefaults()
+	if p.MTBF <= 0 || p.TChk <= 0 {
+		return 0, ErrBadParams
+	}
+	T := YoungInterval(p.TChk, p.MTBF)
+	M := p.TotalTime / p.MTBF
+	lost := M * (T/2 + p.TR + p.TSync)
+	useful := (p.TotalTime - lost) / (1 + p.TChk/T)
+	if useful < 0 {
+		useful = 0
+	}
+	return useful / p.TotalTime, nil
+}
+
+// WithEasyCrash evaluates system efficiency with EasyCrash (Equations 8-9):
+// a fraction R of crashes restart from NVM at cost TR'+TSync without losing
+// the interval's work; the rest roll back as before. The checkpoint
+// interval stretches to Young's interval at the effective
+// MTBF' = MTBF/(1-R), and useful computation carries EasyCrash's runtime
+// overhead t_s.
+func WithEasyCrash(p Params) (float64, error) {
+	p = p.withDefaults()
+	if p.MTBF <= 0 || p.TChk <= 0 {
+		return 0, ErrBadParams
+	}
+	if p.R < 0 || p.R > 1 {
+		return 0, errors.New("sysmodel: R must be in [0,1]")
+	}
+	mtbfEC := p.MTBF
+	if p.R < 1 {
+		mtbfEC = p.MTBF / (1 - p.R)
+	} else {
+		mtbfEC = math.Inf(1)
+	}
+	TPrime := YoungInterval(p.TChk, mtbfEC)
+	if math.IsInf(TPrime, 1) {
+		// No crash ever rolls back; checkpoints become vanishingly rare.
+		TPrime = p.TotalTime
+	}
+	M := p.TotalTime / p.MTBF
+	mRollback := M * (1 - p.R)
+	mRecompute := M * p.R
+	lost := mRollback*(TPrime/2+p.TR+p.TSync) + mRecompute*(p.TRPrime+p.TSync)
+	useful := (p.TotalTime - lost) / ((1 + p.Ts) * (1 + p.TChk/TPrime))
+	if useful < 0 {
+		useful = 0
+	}
+	return useful / p.TotalTime, nil
+}
+
+// Improvement returns the efficiency gain of EasyCrash over the baseline
+// in absolute percentage points.
+func Improvement(p Params) (base, ec, gain float64, err error) {
+	base, err = Baseline(p)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	ec, err = WithEasyCrash(p)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return base, ec, ec - base, nil
+}
+
+// Tau computes the paper's recomputability threshold τ: the smallest R for
+// which the system with EasyCrash is at least as efficient as without it
+// (§5.2 and §7 "Determination of recomputability threshold"). It returns
+// 1 (unattainable) if even R = 1 does not break even, e.g. when t_s is too
+// large for the failure rate.
+func Tau(p Params) (float64, error) {
+	p = p.withDefaults()
+	base, err := Baseline(p)
+	if err != nil {
+		return 0, err
+	}
+	at := func(r float64) (float64, error) {
+		q := p
+		q.R = r
+		return WithEasyCrash(q)
+	}
+	hi, err := at(1)
+	if err != nil {
+		return 0, err
+	}
+	if hi < base {
+		return 1, nil
+	}
+	lo, err := at(0)
+	if err != nil {
+		return 0, err
+	}
+	if lo >= base {
+		return 0, nil
+	}
+	lor, hir := 0.0, 1.0
+	for i := 0; i < 60; i++ {
+		mid := (lor + hir) / 2
+		v, err := at(mid)
+		if err != nil {
+			return 0, err
+		}
+		if v >= base {
+			hir = mid
+		} else {
+			lor = mid
+		}
+	}
+	return hir, nil
+}
+
+// Scale describes one system-scale point of Figure 11: the paper scales a
+// 100,000-node system (MTBF 12 h) to 200,000 and 400,000 nodes by halving
+// the MTBF per doubling.
+type Scale struct {
+	Nodes int
+	MTBF  float64
+}
+
+// Scales returns the paper's three system scales.
+func Scales() []Scale {
+	return []Scale{
+		{Nodes: 100_000, MTBF: 12 * 3600},
+		{Nodes: 200_000, MTBF: 6 * 3600},
+		{Nodes: 400_000, MTBF: 3 * 3600},
+	}
+}
+
+// CheckpointOverheads returns the paper's three checkpoint-cost scenarios
+// (fast NVMe/SSD through slow HDD storage), in seconds.
+func CheckpointOverheads() []float64 { return []float64{32, 320, 3200} }

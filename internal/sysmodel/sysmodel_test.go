@@ -1,0 +1,221 @@
+package sysmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func params(mtbf, tchk, r float64) Params {
+	return Params{MTBF: mtbf, TChk: tchk, R: r, Ts: 0.015, DataBytes: 500e6}
+}
+
+func TestYoungInterval(t *testing.T) {
+	// T = sqrt(2*32*43200) ≈ 1662.8 s for the paper's fast-checkpoint case.
+	got := YoungInterval(32, 12*3600)
+	if math.Abs(got-math.Sqrt(2*32*12*3600)) > 1e-9 {
+		t.Fatalf("YoungInterval = %v", got)
+	}
+}
+
+func TestBaselineSanity(t *testing.T) {
+	b, err := Baseline(params(12*3600, 32, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b <= 0.9 || b >= 1 {
+		t.Fatalf("fast-checkpoint baseline efficiency = %v, want (0.9, 1)", b)
+	}
+	slow, err := Baseline(params(12*3600, 3200, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow >= b {
+		t.Fatal("slower checkpoints should lower efficiency")
+	}
+	if _, err := Baseline(Params{MTBF: 0, TChk: 32}); err != ErrBadParams {
+		t.Fatalf("bad params: err = %v", err)
+	}
+}
+
+func TestEasyCrashBeatsBaselineAtPaperOperatingPoint(t *testing.T) {
+	// The paper's headline: R = 82%, t_s = 1.5% improves efficiency for
+	// every checkpoint-overhead scenario, most at TChk = 3200 s (up to
+	// ~24%, 15% average).
+	var gains []float64
+	for _, tchk := range CheckpointOverheads() {
+		base, ec, gain, err := Improvement(params(12*3600, tchk, 0.82))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ec <= base {
+			t.Fatalf("TChk=%v: EasyCrash (%v) did not beat baseline (%v)", tchk, ec, base)
+		}
+		gains = append(gains, gain)
+	}
+	if !(gains[2] > gains[1] && gains[1] > gains[0]) {
+		t.Fatalf("gains should grow with checkpoint overhead: %v", gains)
+	}
+	if gains[2] < 0.10 || gains[2] > 0.30 {
+		t.Fatalf("TChk=3200 gain = %v, want paper-scale (0.10, 0.30)", gains[2])
+	}
+}
+
+func TestEfficiencyGainGrowsWithScale(t *testing.T) {
+	// Figure 11: EasyCrash's advantage grows as the system scales (MTBF
+	// shrinks).
+	prev := -1.0
+	for _, sc := range Scales() {
+		_, _, gain, err := Improvement(params(sc.MTBF, 3200, 0.82))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gain <= prev {
+			t.Fatalf("gain did not grow with scale at %d nodes: %v <= %v", sc.Nodes, gain, prev)
+		}
+		prev = gain
+	}
+}
+
+func TestWithEasyCrashEdgeCases(t *testing.T) {
+	if _, err := WithEasyCrash(params(12*3600, 32, -0.1)); err == nil {
+		t.Fatal("negative R accepted")
+	}
+	if _, err := WithEasyCrash(params(12*3600, 32, 1.1)); err == nil {
+		t.Fatal("R > 1 accepted")
+	}
+	// R = 1: no rollbacks at all; still well defined and high.
+	e, err := WithEasyCrash(params(12*3600, 320, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e <= 0.9 {
+		t.Fatalf("R=1 efficiency = %v", e)
+	}
+}
+
+func TestTau(t *testing.T) {
+	p := params(12*3600, 3200, 0)
+	tau, err := Tau(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau <= 0 || tau >= 1 {
+		t.Fatalf("tau = %v, want in (0,1)", tau)
+	}
+	// Just below τ EasyCrash must lose; just above it must win.
+	base, _ := Baseline(p)
+	below := p
+	below.R = tau - 0.01
+	above := p
+	above.R = tau + 0.01
+	eb, _ := WithEasyCrash(below)
+	ea, _ := WithEasyCrash(above)
+	if eb >= base {
+		t.Fatalf("R just below tau should not break even: %v >= %v", eb, base)
+	}
+	if ea < base {
+		t.Fatalf("R just above tau should break even: %v < %v", ea, base)
+	}
+}
+
+func TestTauUnattainableWithHugeOverhead(t *testing.T) {
+	p := params(12*3600, 32, 0)
+	p.Ts = 0.5 // absurd runtime overhead
+	tau, err := Tau(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau != 1 {
+		t.Fatalf("tau = %v, want 1 (unattainable)", tau)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	p := Params{MTBF: 12 * 3600, TChk: 320, DataBytes: 100e9}
+	q := p.withDefaults()
+	if q.TR != p.TChk {
+		t.Fatalf("TR default = %v", q.TR)
+	}
+	if q.TSync != 0.5*p.TChk {
+		t.Fatalf("TSync default = %v", q.TSync)
+	}
+	if q.TotalTime != tenYears {
+		t.Fatalf("TotalTime default = %v", q.TotalTime)
+	}
+	if q.TRPrime != 100e9/100e9 {
+		t.Fatalf("TRPrime default = %v", q.TRPrime)
+	}
+}
+
+func TestScalesAndOverheads(t *testing.T) {
+	if len(Scales()) != 3 || Scales()[0].Nodes != 100_000 {
+		t.Fatalf("Scales() = %v", Scales())
+	}
+	if len(CheckpointOverheads()) != 3 {
+		t.Fatalf("CheckpointOverheads() = %v", CheckpointOverheads())
+	}
+}
+
+// Property: efficiency is always in [0, 1], and EasyCrash efficiency is
+// monotonically non-decreasing in R.
+func TestQuickEfficiencyBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := Params{
+			MTBF:      3600 * (1 + rng.Float64()*23),
+			TChk:      10 + rng.Float64()*4000,
+			Ts:        rng.Float64() * 0.05,
+			DataBytes: rng.Float64() * 1e9,
+		}
+		base, err := Baseline(p)
+		if err != nil || base < 0 || base > 1 {
+			return false
+		}
+		prev := -1.0
+		for _, r := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			p.R = r
+			e, err := WithEasyCrash(p)
+			if err != nil || e < 0 || e > 1 {
+				return false
+			}
+			if e < prev-1e-12 {
+				return false // not monotone in R
+			}
+			prev = e
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: τ is consistent — for random operating points, R slightly above
+// the returned τ always breaks even.
+func TestQuickTauConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := Params{
+			MTBF:      3600 * (2 + rng.Float64()*22),
+			TChk:      30 + rng.Float64()*3000,
+			Ts:        rng.Float64() * 0.03,
+			DataBytes: rng.Float64() * 1e9,
+		}
+		tau, err := Tau(p)
+		if err != nil {
+			return false
+		}
+		if tau >= 1 {
+			return true // unattainable: nothing to check
+		}
+		base, _ := Baseline(p)
+		p.R = math.Min(1, tau+0.02)
+		e, err := WithEasyCrash(p)
+		return err == nil && e >= base-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,147 @@
+package trace_test
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"easycrash/internal/apps"
+	"easycrash/internal/cachesim"
+	"easycrash/internal/mem"
+	"easycrash/internal/sim"
+	"easycrash/internal/trace"
+)
+
+func TestRecordAndReplayMatchesLiveRun(t *testing.T) {
+	// Record a kmeans run, then replay the trace against an identical
+	// hierarchy: hit/miss statistics must match the live run exactly.
+	f, err := apps.New("kmeans", apps.ProfileTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := f()
+	m := sim.NewMachine(64<<20, cachesim.TestConfig())
+	k.Setup(m)
+	rec := trace.NewRecorder()
+	m.SetObserver(rec)
+	k.Init(m)
+	if _, err := k.Run(m, 0, 2*k.NominalIters()); err != nil {
+		t.Fatal(err)
+	}
+	live := m.Hierarchy().Stats()
+
+	im := mem.NewImage(64 << 20)
+	h := cachesim.New(cachesim.TestConfig(), im)
+	replayed := rec.Trace().Replay(h)
+
+	if replayed.Loads != live.Loads || replayed.Stores != live.Stores {
+		t.Fatalf("access counts differ: %d/%d vs %d/%d",
+			replayed.Loads, replayed.Stores, live.Loads, live.Stores)
+	}
+	for l := range live.Hits {
+		if replayed.Hits[l] != live.Hits[l] || replayed.Misses[l] != live.Misses[l] {
+			t.Fatalf("level %d hits/misses differ: %d/%d vs %d/%d",
+				l, replayed.Hits[l], replayed.Misses[l], live.Hits[l], live.Misses[l])
+		}
+	}
+	if replayed.Fills != live.Fills || replayed.EvictionWritebacks != live.EvictionWritebacks {
+		t.Fatalf("fills/writebacks differ: %d/%d vs %d/%d",
+			replayed.Fills, replayed.EvictionWritebacks, live.Fills, live.EvictionWritebacks)
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	tr := &trace.Trace{}
+	tr.Append(trace.Event{Addr: 64, Size: 8, Store: true})
+	tr.Append(trace.Event{Addr: 128, Size: 8})
+	tr.Append(trace.Event{Addr: 64, Size: 16, Store: true}) // negative delta
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("len %d, want %d", got.Len(), tr.Len())
+	}
+	for i := 0; i < tr.Len(); i++ {
+		if got.At(i) != tr.At(i) {
+			t.Fatalf("event %d: %+v != %+v", i, got.At(i), tr.At(i))
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := trace.Read(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("garbage header accepted")
+	}
+	if _, err := trace.Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+	// Valid magic, truncated body.
+	if _, err := trace.Read(bytes.NewReader([]byte{'E', 'C', 'T', '1', 5})); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func TestCompressionIsCompact(t *testing.T) {
+	// Sequential strided accesses must encode in a few bytes per event.
+	tr := &trace.Trace{}
+	for i := 0; i < 10000; i++ {
+		tr.Append(trace.Event{Addr: uint64(i) * 8, Size: 8, Store: i%3 == 0})
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if perEvent := float64(buf.Len()) / 10000; perEvent > 3 {
+		t.Fatalf("%.1f bytes/event, want compact (< 3) for strided traces", perEvent)
+	}
+}
+
+// Property: serialisation round-trips arbitrary event sequences.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(addrs []uint32, flags []bool) bool {
+		tr := &trace.Trace{}
+		for i, a := range addrs {
+			store := i < len(flags) && flags[i]
+			tr.Append(trace.Event{Addr: uint64(a), Size: uint32(1 + i%64), Store: store})
+		}
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := trace.Read(&buf)
+		if err != nil || got.Len() != tr.Len() {
+			return false
+		}
+		for i := 0; i < tr.Len(); i++ {
+			if got.At(i) != tr.At(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayAcrossGeometries(t *testing.T) {
+	// The same trace replayed on a bigger LLC must not miss more.
+	tr := &trace.Trace{}
+	for i := 0; i < 5000; i++ {
+		tr.Append(trace.Event{Addr: uint64((i * 131) % (64 << 10)), Size: 8, Store: i%2 == 0})
+	}
+	small := cachesim.New(cachesim.TestConfig(), mem.NewImage(1<<20))
+	sSmall := tr.Replay(small)
+	bigCfg := cachesim.TestConfig()
+	bigCfg.Levels[2].Size *= 4
+	big := cachesim.New(bigCfg, mem.NewImage(1<<20))
+	sBig := tr.Replay(big)
+	if sBig.Misses[2] > sSmall.Misses[2] {
+		t.Fatalf("bigger LLC missed more: %d > %d", sBig.Misses[2], sSmall.Misses[2])
+	}
+}
