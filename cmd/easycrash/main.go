@@ -15,6 +15,7 @@ import (
 	"easycrash/internal/apps"
 	"easycrash/internal/cli"
 	"easycrash/internal/core"
+	"easycrash/internal/faultmodel"
 	"easycrash/internal/nvct"
 	"easycrash/internal/sysmodel"
 )
@@ -25,15 +26,42 @@ func main() {
 
 	var (
 		kernel  = flag.String("kernel", "mg", "kernel to analyse")
-		tests   = flag.Int("tests", 200, "crash tests per campaign")
+		tests   = flag.Int("tests", 200, "crash tests per campaign (> 0)")
 		seed    = flag.Int64("seed", 1, "campaign seed")
-		ts      = flag.Float64("ts", 0.03, "runtime overhead budget t_s")
+		ts      = flag.Float64("ts", 0.03, "runtime overhead budget t_s in (0,1)")
 		mtbf    = flag.Float64("mtbf", 0, "system MTBF in hours (0: skip the efficiency analysis)")
-		tchk    = flag.Float64("tchk", 320, "checkpoint overhead in seconds")
+		tchk    = flag.Float64("tchk", 320, "checkpoint overhead in seconds (> 0)")
 		profile = flag.String("profile", "test", "problem size: test | bench")
 		cache   = flag.String("cache", "test", "cache geometry: test | paper")
+		rber    = flag.Float64("rber", 0, "raw bit-error rate injected at each crash [0,1]")
+		torn    = flag.Bool("torn", false, "tear the in-flight block at crash time")
+		ecc     = flag.Int("ecc", 0, "per-block ECC correction capability in bits (detect = correct+1; 0: ECC off)")
 	)
 	flag.Parse()
+
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected arguments %q (all options are flags)", flag.Args())
+	}
+	if *tests <= 0 {
+		log.Fatalf("-tests must be positive, got %d", *tests)
+	}
+	if *ts <= 0 || *ts >= 1 {
+		log.Fatalf("-ts must be in (0,1), got %g", *ts)
+	}
+	if *mtbf < 0 {
+		log.Fatalf("-mtbf must be >= 0, got %g", *mtbf)
+	}
+	if *tchk <= 0 {
+		log.Fatalf("-tchk must be positive, got %g", *tchk)
+	}
+
+	faults := faultmodel.Config{RBER: *rber, TornWrites: *torn}
+	if *ecc > 0 {
+		faults.ECC = faultmodel.ECC{CorrectBits: *ecc, DetectBits: *ecc + 1}
+	}
+	if err := faults.Validate(); err != nil {
+		log.Fatal(err)
+	}
 
 	prof, err := cli.ParseProfile(*profile)
 	if err != nil {
@@ -53,6 +81,11 @@ func main() {
 		Tests:  *tests,
 		Seed:   *seed,
 		Tester: nvct.Config{Cache: geom},
+		Faults: faults,
+	}
+	if faults.Enabled() {
+		fmt.Printf("media faults: RBER %g, torn writes %v, ECC correct %d / detect %d (scrub-and-fallback restart in Step 4)\n\n",
+			faults.RBER, faults.TornWrites, faults.ECC.CorrectBits, faults.ECC.DetectBits)
 	}
 
 	var sysParams sysmodel.Params

@@ -1,15 +1,19 @@
 // Command nvct runs crash-test campaigns on a benchmark kernel, printing the
 // paper's Figure-3 style response classification and per-object
-// data-inconsistency statistics.
+// data-inconsistency statistics. The media-fault flags extend the paper's
+// intact-NVM assumption with torn writes, raw bit errors and per-block ECC.
 //
 // Usage:
 //
 //	nvct -kernel mg -tests 200 -seed 1 [-persist u,r] [-regions 2,3]
 //	     [-every-iteration] [-frequency 2] [-verified] [-profile bench]
-//	     [-cache paper]
+//	     [-cache paper] [-during-persistence] [-parallel 4]
+//	     [-rber 1e-5] [-torn] [-ecc 1] [-ecc-detect 2] [-scrub]
+//	     [-timeout 30s]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -18,6 +22,7 @@ import (
 
 	"easycrash/internal/apps"
 	"easycrash/internal/cli"
+	"easycrash/internal/faultmodel"
 	"easycrash/internal/nvct"
 )
 
@@ -26,23 +31,57 @@ func main() {
 	log.SetPrefix("nvct: ")
 
 	var (
-		kernel   = flag.String("kernel", "mg", "kernel to test (see -list)")
-		list     = flag.Bool("list", false, "list kernels and exit")
-		tests    = flag.Int("tests", 200, "crash tests in the campaign")
-		seed     = flag.Int64("seed", 1, "campaign seed")
-		persist  = flag.String("persist", "", "comma-separated data objects to persist (empty: none)")
-		regions  = flag.String("regions", "", "comma-separated region ids to flush at (empty with -persist: every iteration end)")
-		everyIt  = flag.Bool("every-iteration", false, "also flush at iteration ends")
-		freq     = flag.Int64("frequency", 1, "persist every x iterations")
-		verified = flag.Bool("verified", false, "run the copy-based verified campaign variant")
-		profile  = flag.String("profile", "test", "problem size: test | bench")
-		cache    = flag.String("cache", "test", "cache geometry: test | paper")
+		kernel    = flag.String("kernel", "mg", "kernel to test (see -list)")
+		list      = flag.Bool("list", false, "list kernels and exit")
+		tests     = flag.Int("tests", 200, "crash tests in the campaign (> 0)")
+		seed      = flag.Int64("seed", 1, "campaign seed")
+		persist   = flag.String("persist", "", "comma-separated data objects to persist (empty: none)")
+		regions   = flag.String("regions", "", "comma-separated region ids to flush at (empty with -persist: every iteration end)")
+		everyIt   = flag.Bool("every-iteration", false, "also flush at iteration ends")
+		freq      = flag.Int64("frequency", 1, "persist every x iterations (>= 1)")
+		verified  = flag.Bool("verified", false, "run the copy-based verified campaign variant")
+		duringP   = flag.Bool("during-persistence", false, "make persistence flushes crash-eligible")
+		parallel  = flag.Int("parallel", 0, "concurrent crash tests (0: GOMAXPROCS, 1: serial)")
+		profile   = flag.String("profile", "test", "problem size: test | bench")
+		cache     = flag.String("cache", "test", "cache geometry: test | paper")
+		rber      = flag.Float64("rber", 0, "raw bit-error rate injected into the surviving image at each crash [0,1]")
+		torn      = flag.Bool("torn", false, "tear the in-flight block at crash time (8-byte old/new interleave)")
+		ecc       = flag.Int("ecc", 0, "per-block ECC correction capability in bits (0: ECC off)")
+		eccDetect = flag.Int("ecc-detect", 0, "per-block ECC detection capability in bits (0 with -ecc > 0: correct+1)")
+		scrub     = flag.Bool("scrub", false, "scrub-and-fallback restart: re-initialise poisoned objects instead of aborting")
+		timeout   = flag.Duration("timeout", 0, "per-test deadline (0: none); an exceeded test is recorded as ERR")
 	)
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(apps.Names(), "\n"))
 		return
+	}
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected arguments %q (all options are flags)", flag.Args())
+	}
+	if *tests <= 0 {
+		log.Fatalf("-tests must be positive, got %d", *tests)
+	}
+	if *freq < 1 {
+		log.Fatalf("-frequency must be >= 1, got %d", *freq)
+	}
+	if *parallel < 0 {
+		log.Fatalf("-parallel must be >= 0, got %d", *parallel)
+	}
+	if *timeout < 0 {
+		log.Fatalf("-timeout must be >= 0, got %v", *timeout)
+	}
+
+	faults := faultmodel.Config{RBER: *rber, TornWrites: *torn}
+	if *ecc > 0 || *eccDetect > 0 {
+		faults.ECC = faultmodel.ECC{CorrectBits: *ecc, DetectBits: *eccDetect}
+		if faults.ECC.DetectBits == 0 {
+			faults.ECC.DetectBits = faults.ECC.CorrectBits + 1
+		}
+	}
+	if err := faults.Validate(); err != nil {
+		log.Fatal(err)
 	}
 
 	prof, err := cli.ParseProfile(*profile)
@@ -70,16 +109,44 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep := tester.RunCampaign(policy, nvct.CampaignOpts{Tests: *tests, Seed: *seed, Verified: *verified})
+	opts := nvct.CampaignOpts{
+		Tests:                  *tests,
+		Seed:                   *seed,
+		Verified:               *verified,
+		Parallel:               *parallel,
+		CrashDuringPersistence: *duringP,
+		Faults:                 faults,
+		ScrubOnRestart:         *scrub,
+		TestTimeout:            *timeout,
+	}
+	rep, err := tester.RunCampaignContext(context.Background(), policy, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("\ncampaign: %d tests (seed %d, policy %s)\n", *tests, *seed, cli.DescribePolicy(policy, *verified))
+	if faults.Enabled() {
+		fmt.Printf("  media faults: RBER %g, torn writes %v, ECC correct %d / detect %d, scrub %v\n",
+			faults.RBER, faults.TornWrites, faults.ECC.CorrectBits, faults.ECC.DetectBits, *scrub)
+	}
 	n := float64(len(rep.Tests))
 	fmt.Printf("  S1 success, no extra iters : %4d (%.1f%%)\n", rep.Counts[nvct.S1], 100*float64(rep.Counts[nvct.S1])/n)
 	fmt.Printf("  S2 success, extra iters    : %4d (%.1f%%)\n", rep.Counts[nvct.S2], 100*float64(rep.Counts[nvct.S2])/n)
 	fmt.Printf("  S3 interruption            : %4d (%.1f%%)\n", rep.Counts[nvct.S3], 100*float64(rep.Counts[nvct.S3])/n)
 	fmt.Printf("  S4 verification fails      : %4d (%.1f%%)\n", rep.Counts[nvct.S4], 100*float64(rep.Counts[nvct.S4])/n)
+	if rep.Counts[nvct.SDue] > 0 {
+		fmt.Printf("  DUE uncorrectable media err: %4d (%.1f%%)\n", rep.Counts[nvct.SDue], 100*float64(rep.Counts[nvct.SDue])/n)
+	}
+	if rep.Counts[nvct.SErr] > 0 {
+		fmt.Printf("  ERR engine errors          : %4d (%.1f%%)\n", rep.Counts[nvct.SErr], 100*float64(rep.Counts[nvct.SErr])/n)
+	}
 	fmt.Printf("  recomputability %.3f, success rate %.3f, avg extra iterations %.1f\n",
 		rep.Recomputability(), rep.SuccessRate(), rep.AvgExtraIters())
+	if faults.Enabled() {
+		due, caught, missed := rep.MediaErrorCounts()
+		fmt.Printf("  media outcomes: %d detected-uncorrectable, %d silent corruptions caught by verification, %d missed\n",
+			due, caught, missed)
+	}
 
 	fmt.Println("\nper-region recomputability (c_k):")
 	rec, cnt := rep.RegionRecomputability()

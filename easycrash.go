@@ -30,6 +30,7 @@ import (
 	"easycrash/internal/ckpt"
 	"easycrash/internal/core"
 	"easycrash/internal/endurance"
+	"easycrash/internal/faultmodel"
 	"easycrash/internal/nvct"
 	"easycrash/internal/nvmperf"
 	"easycrash/internal/predict"
@@ -76,13 +77,30 @@ type Report = nvct.Report
 // Outcome classifies one crash test (S1..S4).
 type Outcome = nvct.Outcome
 
-// Crash-test outcomes (Figure 3).
+// Crash-test outcomes (Figure 3, extended by the media-fault model).
 const (
-	S1 = nvct.S1 // successful recomputation, no extra iterations
-	S2 = nvct.S2 // successful recomputation with extra iterations
-	S3 = nvct.S3 // interruption
-	S4 = nvct.S4 // verification failure
+	S1   = nvct.S1   // successful recomputation, no extra iterations
+	S2   = nvct.S2   // successful recomputation with extra iterations
+	S3   = nvct.S3   // interruption
+	S4   = nvct.S4   // verification failure
+	SDue = nvct.SDue // restart hit a detected-uncorrectable media error
+	SErr = nvct.SErr // the test itself errored (panic or per-test timeout)
 )
+
+// FaultConfig describes the NVM media-fault model applied at each simulated
+// crash: torn writes at the 8-byte atomic-write granularity, raw bit errors
+// at a configurable rate, and per-block ECC. The zero value is the paper's
+// intact-NVM assumption and leaves campaigns byte-identical.
+type FaultConfig = faultmodel.Config
+
+// ECCConfig is a per-block error-correcting-code capability.
+type ECCConfig = faultmodel.ECC
+
+// SECDED returns the classic single-error-correct, double-error-detect code.
+func SECDED() ECCConfig { return faultmodel.SECDED() }
+
+// FaultInjection summarises the media faults injected into one crash test.
+type FaultInjection = faultmodel.Injection
 
 // NewTester performs a kernel's golden run and returns a crash tester.
 func NewTester(f Factory, cfg TesterConfig) (*Tester, error) { return nvct.NewTester(f, cfg) }

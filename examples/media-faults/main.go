@@ -1,0 +1,75 @@
+// media-faults sweeps the raw bit-error rate of the simulated NVM and shows
+// how MG's recomputability degrades once the paper's intact-NVM assumption
+// is relaxed. Each crash additionally tears the in-flight cache block at the
+// 8-byte atomic-write granularity. The sweep is run twice — with ECC off and
+// with SECDED per block — separating detected-uncorrectable errors (DUE,
+// the restart aborts like a machine check) from silent corruptions, which
+// the kernel's own acceptance test either catches (S4) or misses.
+//
+//	go run ./examples/media-faults
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"easycrash"
+)
+
+const tests = 100
+
+func main() {
+	log.SetFlags(0)
+
+	factory, err := easycrash.NewKernel("mg", easycrash.ProfileTest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tester, err := easycrash.NewTester(factory, easycrash.TesterConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MG golden run: %d V-cycles, %d memory accesses\n",
+		tester.Golden().Iters, tester.Golden().MainAccesses)
+
+	// The production-style policy from the paper's workflow: persist the
+	// solution and residual at the end of every iteration.
+	policy := easycrash.IterationPolicy([]string{"u", "r"})
+
+	rbers := []float64{0, 1e-6, 1e-5, 1e-4, 1e-3}
+	configs := []struct {
+		label string
+		ecc   easycrash.ECCConfig
+	}{
+		{"ECC off ", easycrash.ECCConfig{}},
+		{"SECDED  ", easycrash.SECDED()},
+	}
+
+	for _, c := range configs {
+		fmt.Printf("\nRBER sweep with torn writes, %s (%d tests each):\n", c.label, tests)
+		fmt.Println("  RBER     recomput.  S1   S2   S3   S4   DUE  silent caught/missed")
+		for _, rber := range rbers {
+			opts := easycrash.CampaignOpts{
+				Tests: tests,
+				Seed:  7,
+				Faults: easycrash.FaultConfig{
+					RBER:       rber,
+					TornWrites: true,
+					ECC:        c.ecc,
+				},
+			}
+			rep := tester.RunCampaign(policy, opts)
+			due, caught, missed := rep.MediaErrorCounts()
+			fmt.Printf("  %-8.0e %.3f     %3d  %3d  %3d  %3d  %3d  %d/%d\n",
+				rber, rep.Recomputability(),
+				rep.Counts[easycrash.S1], rep.Counts[easycrash.S2],
+				rep.Counts[easycrash.S3], rep.Counts[easycrash.S4],
+				due, caught, missed)
+		}
+	}
+
+	fmt.Println("\nWith ECC off every raw bit error lands silently; the kernel's")
+	fmt.Println("verification catches most but not all. SECDED converts multi-bit")
+	fmt.Println("blocks into DUEs, trading silent corruption for detected aborts —")
+	fmt.Println("which the Step-4 scrub-and-fallback restart can then recover from.")
+}

@@ -21,6 +21,10 @@ const BlockSize = 64
 const blockShift = 6
 
 // Backing is the memory the hierarchy sits in front of (the NVM image).
+// Every eviction write-back and flush reaches the media through WriteBlock,
+// which makes it the torn-write boundary of the media-fault model: the block
+// passed to the most recent WriteBlock is the one in flight — and torn at the
+// 8-byte atomic-write granularity — when a crash fires mid-write-back.
 type Backing interface {
 	// ReadBlock copies the block containing addr into dst (BlockSize bytes).
 	ReadBlock(addr uint64, dst []byte)

@@ -29,6 +29,7 @@ import (
 
 	"easycrash/internal/apps"
 	"easycrash/internal/cachesim"
+	"easycrash/internal/faultmodel"
 	"easycrash/internal/knapsack"
 	"easycrash/internal/nvct"
 	"easycrash/internal/stats"
@@ -64,6 +65,12 @@ type Config struct {
 	Frequencies []int64
 	// SkipValidation skips the final measurement campaign.
 	SkipValidation bool
+	// Faults configures the NVM media-fault layer for every campaign the
+	// workflow runs (zero = the paper's intact-NVM assumption). Step 4's
+	// production validation additionally enables the scrub-and-fallback
+	// restart path, so a detected-uncorrectable object is re-initialised
+	// instead of aborting the restart.
+	Faults faultmodel.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -165,7 +172,7 @@ func RunWithTester(tester *nvct.Tester, cfg Config) (*Result, error) {
 	}
 
 	// Step 1: baseline campaign.
-	res.Baseline = tester.RunCampaign(nil, nvct.CampaignOpts{Tests: cfg.Tests, Seed: cfg.Seed})
+	res.Baseline = tester.RunCampaign(nil, nvct.CampaignOpts{Tests: cfg.Tests, Seed: cfg.Seed, Faults: cfg.Faults})
 	res.BaselineY = res.Baseline.Recomputability()
 
 	// Step 2: select critical data objects.
@@ -180,7 +187,7 @@ func RunWithTester(tester *nvct.Tester, cfg Config) (*Result, error) {
 
 	// Step 3: region campaigns and selection.
 	best := nvct.EveryRegionPolicy(res.Critical, res.Golden.Regions)
-	res.CriticalEverywhere = tester.RunCampaign(best, nvct.CampaignOpts{Tests: cfg.Tests, Seed: cfg.Seed + 1})
+	res.CriticalEverywhere = tester.RunCampaign(best, nvct.CampaignOpts{Tests: cfg.Tests, Seed: cfg.Seed + 1, Faults: cfg.Faults})
 	regions, chosen, freq, predicted := SelectRegions(tester.Golden(), res.Baseline, res.CriticalEverywhere, res.Critical, cfg)
 	res.Regions = regions
 	res.Frequency = freq
@@ -202,10 +209,15 @@ func RunWithTester(tester *nvct.Tester, cfg Config) (*Result, error) {
 	// prediction; we therefore also validate the equally-priced
 	// iteration-end policy and ship whichever measures higher (a small
 	// refinement beyond the paper's §5.3, documented in DESIGN.md).
+	// The production runtime restarts with the scrub-and-fallback path:
+	// a poisoned (detected-uncorrectable) object is re-initialised rather
+	// than aborting the restart, so media errors degrade to recomputation
+	// work instead of hard failures.
 	if res.Policy != nil && !cfg.SkipValidation {
-		res.Final = tester.RunCampaign(res.Policy, nvct.CampaignOpts{Tests: cfg.Tests, Seed: cfg.Seed + 2})
+		prodOpts := nvct.CampaignOpts{Tests: cfg.Tests, Seed: cfg.Seed + 2, Faults: cfg.Faults, ScrubOnRestart: true}
+		res.Final = tester.RunCampaign(res.Policy, prodOpts)
 		if alt := iterationEndPolicy(res, cfg); alt != nil {
-			altRep := tester.RunCampaign(alt, nvct.CampaignOpts{Tests: cfg.Tests, Seed: cfg.Seed + 2})
+			altRep := tester.RunCampaign(alt, prodOpts)
 			if altRep.Recomputability() > res.Final.Recomputability() {
 				res.Policy = alt
 				res.Final = altRep

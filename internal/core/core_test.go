@@ -5,6 +5,7 @@ import (
 
 	"easycrash/internal/apps"
 	"easycrash/internal/core"
+	"easycrash/internal/faultmodel"
 	"easycrash/internal/knapsack"
 	"easycrash/internal/mem"
 	"easycrash/internal/nvct"
@@ -258,5 +259,30 @@ func TestKendallSelectionAgreesOnMG(t *testing.T) {
 	}
 	if !found(spearman) || !found(kendall) {
 		t.Fatalf("u not selected by both: spearman=%v kendall=%v", spearman, kendall)
+	}
+}
+
+func TestWorkflowWithMediaFaults(t *testing.T) {
+	// The workflow runs end to end on imperfect media: every campaign
+	// injects faults, and the Step-4 production validation recovers from
+	// detected-uncorrectable blocks via the scrub-and-fallback restart.
+	res := runWorkflow(t, "mg", core.Config{
+		Tests: 30, Seed: 1,
+		Faults: faultmodel.Config{
+			RBER:       1e-5,
+			TornWrites: true,
+			ECC:        faultmodel.SECDED(),
+		},
+	})
+	if res.Policy == nil || res.Final == nil {
+		t.Fatal("faulty-media workflow produced no production policy or validation")
+	}
+	if res.Final.Counts[nvct.SDue] != 0 {
+		t.Fatalf("production validation returned %d DUE despite scrub-and-fallback",
+			res.Final.Counts[nvct.SDue])
+	}
+	clean := runWorkflow(t, "mg", core.Config{Tests: 30, Seed: 1})
+	if res.BaselineY > clean.BaselineY {
+		t.Fatalf("media faults improved the baseline: %.3f vs %.3f", res.BaselineY, clean.BaselineY)
 	}
 }

@@ -27,6 +27,27 @@ type Image struct {
 	blockWrites  uint64
 	bytesWritten uint64
 	wear         *WearMap
+	writeHook    WriteHook
+	poisoned     map[uint64]struct{} // block base addrs that read as uncorrectable
+}
+
+// WriteHook observes every in-band block write into the image before it is
+// applied: base is the block base address, old the current contents and new
+// the incoming contents (both BlockSize bytes). Both slices alias live
+// buffers — a hook must copy what it keeps. The media-fault layer installs
+// one to learn which block is in flight when a crash fires.
+type WriteHook func(base uint64, old, new []byte)
+
+// MediaError is the panic payload raised by reading a poisoned block — the
+// simulator's analogue of the machine-check exception a detected-
+// uncorrectable NVM error raises.
+type MediaError struct {
+	Addr uint64 // poisoned block base address
+}
+
+// Error implements error.
+func (e *MediaError) Error() string {
+	return fmt.Sprintf("mem: detected-uncorrectable media error reading block %#x", e.Addr)
 }
 
 // NewImage creates an NVM image of the given size in bytes, rounded up to a
@@ -40,22 +61,77 @@ func NewImage(size uint64) *Image {
 func (im *Image) Size() uint64 { return uint64(len(im.data)) }
 
 // ReadBlock copies the cache block containing addr into dst (len BlockSize).
+// Reading a poisoned block panics with a *MediaError — the detected-
+// uncorrectable outcome of the ECC model; the crash tester recovers it and
+// classifies the test.
 func (im *Image) ReadBlock(addr uint64, dst []byte) {
 	base := addr &^ (BlockSize - 1)
+	if im.poisoned != nil {
+		if _, bad := im.poisoned[base]; bad {
+			panic(&MediaError{Addr: base})
+		}
+	}
 	copy(dst, im.data[base:base+BlockSize])
 }
 
 // WriteBlock writes one cache block into the image and counts one NVM write.
 // This is the only mutation path used by the cache hierarchy, so blockWrites
 // counts exactly the media writes the paper's endurance analysis counts.
+// A full-block write re-establishes the block's ECC, healing any poison.
 func (im *Image) WriteBlock(addr uint64, src []byte) {
 	base := addr &^ (BlockSize - 1)
+	if im.writeHook != nil {
+		im.writeHook(base, im.data[base:base+BlockSize], src[:BlockSize])
+	}
+	if im.poisoned != nil {
+		delete(im.poisoned, base)
+	}
 	copy(im.data[base:base+BlockSize], src[:BlockSize])
 	im.blockWrites++
 	im.bytesWritten += BlockSize
 	if im.wear != nil {
 		im.wear.record(base)
 	}
+}
+
+// SetWriteHook installs an observer for in-band block writes (nil removes
+// it). The media-fault layer uses it to track the write in flight at a
+// crash; a nil hook costs one predictable branch per media write.
+func (im *Image) SetWriteHook(h WriteHook) { im.writeHook = h }
+
+// PoisonBlock marks the block containing addr as detected-uncorrectable:
+// its data is considered lost and ReadBlock panics with a *MediaError until
+// a full-block write heals it.
+func (im *Image) PoisonBlock(addr uint64) {
+	if im.poisoned == nil {
+		im.poisoned = make(map[uint64]struct{})
+	}
+	im.poisoned[addr&^(BlockSize-1)] = struct{}{}
+}
+
+// ClearPoison heals the block containing addr without writing data.
+func (im *Image) ClearPoison(addr uint64) {
+	delete(im.poisoned, addr&^(BlockSize-1))
+}
+
+// Poisoned reports whether the block containing addr is poisoned.
+func (im *Image) Poisoned(addr uint64) bool {
+	_, bad := im.poisoned[addr&^(BlockSize-1)]
+	return bad
+}
+
+// PoisonedBlocks returns the poisoned block base addresses in ascending
+// order — the postmortem record the crash tester carries into restart.
+func (im *Image) PoisonedBlocks() []uint64 {
+	if len(im.poisoned) == 0 {
+		return nil
+	}
+	out := make([]uint64, 0, len(im.poisoned))
+	for b := range im.poisoned {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // BlockWrites returns the number of cache-block writes the image has absorbed.
@@ -179,6 +255,12 @@ func (s *Space) AllocF64(name string, n int, candidate bool) Object {
 func (s *Space) AllocI64(name string, n int, candidate bool) Object {
 	return s.Alloc(name, uint64(n)*8, candidate)
 }
+
+// Extent returns the allocation high-water mark: the first address past all
+// registered objects. The media-fault layer bounds raw-bit-error injection
+// to [0, Extent) — errors in never-allocated capacity cannot affect the
+// application.
+func (s *Space) Extent() uint64 { return s.brk }
 
 // Object looks up a registered object by name.
 func (s *Space) Object(name string) (Object, bool) {

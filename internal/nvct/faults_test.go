@@ -1,0 +1,257 @@
+package nvct_test
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"easycrash/internal/apps"
+	"easycrash/internal/faultmodel"
+	"easycrash/internal/nvct"
+)
+
+func TestExtendedOutcomeStrings(t *testing.T) {
+	if nvct.SDue.String() != "DUE" || nvct.SErr.String() != "ERR" {
+		t.Fatalf("extended outcome labels: %q %q", nvct.SDue, nvct.SErr)
+	}
+	if nvct.NumOutcomes != 6 {
+		t.Fatalf("NumOutcomes = %d", nvct.NumOutcomes)
+	}
+}
+
+func TestInvalidFaultConfigFailsCampaign(t *testing.T) {
+	tt := tester(t, "mg")
+	_, err := tt.RunCampaignContext(context.Background(), nil,
+		nvct.CampaignOpts{Tests: 1, Seed: 1, Faults: faultmodel.Config{RBER: 2}})
+	if err == nil {
+		t.Fatal("RBER 2 accepted")
+	}
+}
+
+// TestZeroFaultOptionsInert checks the tentpole's inertness guarantee: the
+// hardened engine with all extensions at their zero values (plus the hooks
+// that may be installed — scrub flag, a generous deadline, an explicit
+// context) reproduces the classic campaign exactly.
+func TestZeroFaultOptionsInert(t *testing.T) {
+	tt := tester(t, "mg")
+	policy := nvct.IterationPolicy([]string{"u"})
+	base := tt.RunCampaign(policy, nvct.CampaignOpts{Tests: 20, Seed: 31})
+	hardened, err := tt.RunCampaignContext(context.Background(), policy, nvct.CampaignOpts{
+		Tests: 20, Seed: 31, ScrubOnRestart: true, TestTimeout: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base.Tests, hardened.Tests) || base.Counts != hardened.Counts {
+		t.Fatal("zero-fault hardened campaign differs from the classic one")
+	}
+}
+
+// TestFaultCampaignDeterministicAcrossParallel is an acceptance criterion:
+// per-test fault seeds are drawn serially up front, so the injected faults do
+// not depend on worker scheduling.
+func TestFaultCampaignDeterministicAcrossParallel(t *testing.T) {
+	tt := tester(t, "mg")
+	opts := nvct.CampaignOpts{
+		Tests: 16, Seed: 37,
+		Faults: faultmodel.Config{RBER: 1e-5, TornWrites: true, ECC: faultmodel.SECDED()},
+	}
+	serial := opts
+	serial.Parallel = 1
+	parallel := opts
+	parallel.Parallel = 4
+	a := tt.RunCampaign(nil, serial)
+	b := tt.RunCampaign(nil, parallel)
+	if a.Counts != b.Counts {
+		t.Fatalf("counts differ: %v vs %v", a.Counts, b.Counts)
+	}
+	for i := range a.Tests {
+		if a.Tests[i].CrashAccess != b.Tests[i].CrashAccess ||
+			a.Tests[i].Outcome != b.Tests[i].Outcome ||
+			a.Tests[i].Media != b.Tests[i].Media {
+			t.Fatalf("test %d differs between serial and parallel fault campaigns:\n%+v\n%+v",
+				i, a.Tests[i], b.Tests[i])
+		}
+	}
+}
+
+// TestCrashDuringPersistenceParallelDeterminism pins the satellite: the
+// flush-eligible tick space (which needs a profile run) must not perturb
+// determinism across scheduling.
+func TestCrashDuringPersistenceParallelDeterminism(t *testing.T) {
+	tt := tester(t, "mg")
+	policy := nvct.IterationPolicy([]string{"u", "r"})
+	opts := nvct.CampaignOpts{Tests: 16, Seed: 41, CrashDuringPersistence: true}
+	serial := opts
+	serial.Parallel = 1
+	parallel := opts
+	parallel.Parallel = 4
+	a := tt.RunCampaign(policy, serial)
+	b := tt.RunCampaign(policy, parallel)
+	for i := range a.Tests {
+		if a.Tests[i].CrashAccess != b.Tests[i].CrashAccess || a.Tests[i].Outcome != b.Tests[i].Outcome {
+			t.Fatalf("test %d differs between serial and parallel execution", i)
+		}
+	}
+	if a.Counts != b.Counts {
+		t.Fatalf("counts differ: %v vs %v", a.Counts, b.Counts)
+	}
+}
+
+// TestRBERMonotonicallyDegradesRecomputability is an acceptance criterion:
+// more raw bit errors can only hurt.
+func TestRBERMonotonicallyDegradesRecomputability(t *testing.T) {
+	tt := tester(t, "mg")
+	policy := nvct.IterationPolicy([]string{"u", "r"})
+	prev := 2.0
+	for _, rber := range []float64{0, 1e-4, 1e-2} {
+		rep := tt.RunCampaign(policy, nvct.CampaignOpts{
+			Tests: 40, Seed: 43,
+			Faults: faultmodel.Config{RBER: rber, TornWrites: true},
+		})
+		r := rep.Recomputability()
+		if r > prev {
+			t.Fatalf("recomputability rose from %.3f to %.3f as RBER grew to %g", prev, r, rber)
+		}
+		prev = r
+		due, caught, missed := rep.MediaErrorCounts()
+		if due != rep.Counts[nvct.SDue] {
+			t.Fatalf("due %d != Counts[SDue] %d", due, rep.Counts[nvct.SDue])
+		}
+		if rber >= 1e-2 && caught+missed == 0 {
+			t.Fatal("heavy silent corruption produced no silent-block outcomes")
+		}
+	}
+}
+
+func TestECCPoisonAndScrubFallback(t *testing.T) {
+	tt := tester(t, "mg")
+	policy := nvct.IterationPolicy([]string{"u", "r"})
+	// DetectBits huge: every corrupted block becomes detected-uncorrectable,
+	// so without scrubbing many tests abort as DUE.
+	faults := faultmodel.Config{
+		RBER: 1e-4,
+		ECC:  faultmodel.ECC{CorrectBits: 1, DetectBits: 1 << 20},
+	}
+	abortRep := tt.RunCampaign(policy, nvct.CampaignOpts{Tests: 30, Seed: 47, Faults: faults})
+	if abortRep.Counts[nvct.SDue] == 0 {
+		t.Fatal("poison-everything ECC produced no DUE outcomes")
+	}
+	for _, tr := range abortRep.Tests {
+		if tr.Outcome == nvct.SDue && tr.Media.PoisonedBlocks == 0 {
+			t.Fatal("DUE outcome without poisoned blocks in the injection record")
+		}
+	}
+
+	scrubRep := tt.RunCampaign(policy, nvct.CampaignOpts{Tests: 30, Seed: 47, Faults: faults, ScrubOnRestart: true})
+	if scrubRep.Counts[nvct.SDue] != 0 {
+		t.Fatalf("scrub-and-fallback restart still returned %d DUE", scrubRep.Counts[nvct.SDue])
+	}
+	var scrubbed int
+	for _, tr := range scrubRep.Tests {
+		scrubbed += tr.ScrubbedObjects
+	}
+	if scrubbed == 0 {
+		t.Fatal("scrub path reports no scrubbed objects")
+	}
+	// Scrubbing recovers runnability: strictly more tests complete the
+	// protocol (any outcome but DUE/ERR) than under abort-on-poison.
+	completed := func(r *nvct.Report) int {
+		return r.Counts[nvct.S1] + r.Counts[nvct.S2] + r.Counts[nvct.S3] + r.Counts[nvct.S4]
+	}
+	if completed(scrubRep) <= completed(abortRep) {
+		t.Fatalf("scrubbing did not increase completed restarts: %d vs %d",
+			completed(scrubRep), completed(abortRep))
+	}
+}
+
+// TestPanicIsolation is the satellite-3 requirement: a kernel factory that
+// panics in one test yields one errored result, not a dead campaign.
+func TestPanicIsolation(t *testing.T) {
+	f, err := apps.New("mg", apps.ProfileTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	poisoned := func() apps.Kernel {
+		calls++
+		if calls == 4 { // golden run is call 1; blow up inside a later test
+			panic("injected factory failure")
+		}
+		return f()
+	}
+	tt, err := nvct.NewTester(poisoned, nvct.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := tt.RunCampaign(nil, nvct.CampaignOpts{Tests: 6, Seed: 53, Parallel: 1})
+	if len(rep.Tests) != 6 {
+		t.Fatalf("campaign kept %d of 6 tests", len(rep.Tests))
+	}
+	if rep.Counts[nvct.SErr] != 1 {
+		t.Fatalf("Counts[SErr] = %d, want exactly 1", rep.Counts[nvct.SErr])
+	}
+	for _, tr := range rep.Tests {
+		if tr.Outcome == nvct.SErr && !strings.Contains(tr.Err, "injected factory failure") {
+			t.Fatalf("SErr result does not carry the panic message: %q", tr.Err)
+		}
+	}
+}
+
+func TestTestTimeoutBecomesErr(t *testing.T) {
+	tt := tester(t, "mg")
+	rep, err := tt.RunCampaignContext(context.Background(), nil,
+		nvct.CampaignOpts{Tests: 3, Seed: 59, Parallel: 1, TestTimeout: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Counts[nvct.SErr] != 3 {
+		t.Fatalf("Counts = %v, want every test to blow the 1ns deadline", rep.Counts)
+	}
+	for _, tr := range rep.Tests {
+		if !strings.Contains(tr.Err, "deadline") {
+			t.Fatalf("timeout result message %q", tr.Err)
+		}
+	}
+}
+
+func TestCancelledCampaignReturnsPartialResults(t *testing.T) {
+	tt := tester(t, "mg")
+
+	// Already-cancelled context: no tests run, the error reports why.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := tt.RunCampaignContext(ctx, nil, nvct.CampaignOpts{Tests: 50, Seed: 61})
+	if err == nil {
+		t.Fatal("cancelled campaign returned nil error")
+	}
+	if rep == nil || len(rep.Tests) != 0 || rep.Requested != 50 {
+		t.Fatalf("pre-cancelled campaign: %d tests kept, requested %d", len(rep.Tests), rep.Requested)
+	}
+
+	// Mid-run cancellation: the partial report holds only completed tests
+	// and every kept test is fully classified.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel2()
+	rep2, err2 := tt.RunCampaignContext(ctx2, nil, nvct.CampaignOpts{Tests: 5000, Seed: 61, Parallel: 2})
+	if err2 == nil {
+		t.Fatal("timed-out campaign returned nil error")
+	}
+	if len(rep2.Tests) >= 5000 {
+		t.Fatal("campaign ignored cancellation")
+	}
+	var sum int
+	for _, c := range rep2.Counts {
+		sum += c
+	}
+	if sum != len(rep2.Tests) {
+		t.Fatalf("counts %v do not match %d kept tests", rep2.Counts, len(rep2.Tests))
+	}
+	for _, tr := range rep2.Tests {
+		if tr.Outcome == nvct.SErr {
+			t.Fatalf("campaign cancellation leaked into results as SErr: %q", tr.Err)
+		}
+	}
+}

@@ -10,23 +10,33 @@
 //	S3 — interruption (the restarted run could not complete)
 //	S4 — acceptance verification fails
 //
+// Two outcomes extend the paper's classification for imperfect media and a
+// hardened campaign engine (see CampaignOpts.Faults):
+//
+//	SDue — a detected-uncorrectable media error struck restart-critical data
+//	SErr — the test itself errored (panic, per-test deadline)
+//
 // A Tester owns one golden (undisturbed) run; campaigns of crash tests are
 // then run against different persistence policies.
 package nvct
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"easycrash/internal/apps"
 	"easycrash/internal/cachesim"
+	"easycrash/internal/faultmodel"
 	"easycrash/internal/mem"
 	"easycrash/internal/sim"
 )
 
-// Outcome classifies one crash-and-restart test (Figure 3).
+// Outcome classifies one crash-and-restart test (Figure 3, extended).
 type Outcome int
 
 const (
@@ -38,9 +48,22 @@ const (
 	S3
 	// S4 is a failed acceptance verification.
 	S4
+	// SDue is a detected-uncorrectable media error: restart found the
+	// bookmark or a persisted object poisoned by the ECC model and (absent
+	// the scrub-and-fallback path) could not proceed. Beyond the paper,
+	// which assumes intact NVM.
+	SDue
+	// SErr is a campaign-engine error: the test panicked outside the
+	// simulated crash protocol or exceeded its per-test deadline. The
+	// campaign records it and continues.
+	SErr
+
+	// NumOutcomes is the number of outcome classes (the size of
+	// Report.Counts).
+	NumOutcomes = int(SErr) + 1
 )
 
-// String returns the paper's label for the outcome.
+// String returns the paper's label for the outcome (or the extension's).
 func (o Outcome) String() string {
 	switch o {
 	case S1:
@@ -51,6 +74,10 @@ func (o Outcome) String() string {
 		return "S3"
 	case S4:
 		return "S4"
+	case SDue:
+		return "DUE"
+	case SErr:
+		return "ERR"
 	}
 	return fmt.Sprintf("Outcome(%d)", int(o))
 }
@@ -196,6 +223,15 @@ type TestResult struct {
 	// was interrupted); comparing it with the golden Result shows how far
 	// the recomputation deviated.
 	FinalResult []float64
+	// Media summarises the media faults injected at this crash (zero when
+	// the campaign runs with perfect media).
+	Media faultmodel.Injection
+	// ScrubbedObjects counts objects (including the iterator bookmark) the
+	// scrub-and-fallback restart path re-initialised because their blocks
+	// were poisoned.
+	ScrubbedObjects int
+	// Err holds the engine error behind an SErr outcome.
+	Err string
 }
 
 // Success reports whether the application recomputed (S1 or S2).
@@ -206,8 +242,11 @@ type Report struct {
 	Kernel  string
 	Policy  *Policy
 	Tests   []TestResult
-	Counts  [4]int // indexed by Outcome
+	Counts  [NumOutcomes]int // indexed by Outcome
 	Regions int
+	// Requested is the campaign size asked for; len(Tests) falls short of
+	// it only when the campaign was cancelled mid-run (partial results).
+	Requested int
 }
 
 // Recomputability is the paper's headline metric: the fraction of crashes
@@ -259,6 +298,27 @@ func (r *Report) RegionRecomputability() (rec map[int]float64, tests map[int]int
 		rec[k] = float64(s1[k]) / float64(n)
 	}
 	return rec, tests
+}
+
+// MediaErrorCounts separates the media-fault outcomes of a campaign:
+// due counts detected-uncorrectable results (SDue), silentCaught counts
+// tests where silently corrupted blocks survived into restart but the
+// acceptance verification failed (S4), and silentMissed counts tests where
+// silent corruption passed verification (S1/S2) — the most dangerous class.
+func (r *Report) MediaErrorCounts() (due, silentCaught, silentMissed int) {
+	due = r.Counts[SDue]
+	for _, t := range r.Tests {
+		if t.Media.SilentBlocks == 0 {
+			continue
+		}
+		switch t.Outcome {
+		case S4:
+			silentCaught++
+		case S1, S2:
+			silentMissed++
+		}
+	}
+	return due, silentCaught, silentMissed
 }
 
 // InconsistencyVectors extracts, for each candidate object, the paired
@@ -402,11 +462,49 @@ type CampaignOpts struct {
 	// mid-flush and leave an object set partially persisted. Crash points
 	// are then drawn over the policy's own (demand + flush) tick count.
 	CrashDuringPersistence bool
+	// Faults configures the NVM media-fault layer applied at each crash:
+	// torn writes, raw bit errors, per-block ECC. The zero value is inert —
+	// no injector is attached and campaigns reproduce the perfect-media
+	// results byte for byte.
+	Faults faultmodel.Config
+	// ScrubOnRestart enables the production scrub-and-fallback restart
+	// path: instead of aborting on a detected-uncorrectable block (SDue),
+	// restart re-initialises the poisoned object (and restarts from
+	// iteration 0 when the bookmark itself is poisoned, counting the
+	// redone iterations as extra).
+	ScrubOnRestart bool
+	// TestTimeout bounds each crash test (both phases); a test exceeding
+	// it is recorded as an SErr result and the campaign continues. 0 means
+	// no per-test deadline.
+	TestTimeout time.Duration
 }
 
+// errTestTimeout marks a per-test deadline abort so it can be told apart
+// from a campaign-wide cancellation.
+var errTestTimeout = errors.New("nvct: per-test deadline exceeded")
+
 // RunCampaign runs a crash-test campaign under the given persistence policy
-// (nil = baseline iterator-only).
+// (nil = baseline iterator-only). It is RunCampaignContext without
+// cancellation; setup errors (an invalid fault configuration, a failed
+// tick-profile run) panic, as they are programming errors at this call site.
 func (t *Tester) RunCampaign(policy *Policy, opts CampaignOpts) *Report {
+	rep, err := t.RunCampaignContext(context.Background(), policy, opts)
+	if err != nil {
+		panic(fmt.Errorf("nvct: campaign setup failed: %w", err))
+	}
+	return rep
+}
+
+// RunCampaignContext runs a crash-test campaign under the given persistence
+// policy (nil = baseline iterator-only), honouring ctx: when ctx is
+// cancelled mid-run, in-flight tests abort promptly, the partial report of
+// completed tests is returned alongside ctx's error, and no goroutines are
+// leaked. A non-cancellation error (invalid fault configuration, failed
+// tick-profile run) returns a nil report.
+func (t *Tester) RunCampaignContext(ctx context.Context, policy *Policy, opts CampaignOpts) (*Report, error) {
+	if err := opts.Faults.Validate(); err != nil {
+		return nil, err
+	}
 	if opts.Tests <= 0 {
 		opts.Tests = 100
 	}
@@ -420,11 +518,16 @@ func (t *Tester) RunCampaign(policy *Policy, opts CampaignOpts) *Report {
 
 	// Crash points are drawn serially so the campaign is reproducible
 	// independent of scheduling. With crash-eligible persistence the tick
-	// space includes the policy's flush work, measured by one profile run.
+	// space includes the policy's flush work, measured by one profile run;
+	// a failing profile run must not silently skew the crash-point
+	// distribution back to demand-only ticks, so it fails the campaign.
 	space := t.golden.MainAccesses
 	if opts.CrashDuringPersistence {
 		g, err := t.profileTicks(policy)
-		if err == nil && g > 0 {
+		if err != nil {
+			return nil, fmt.Errorf("nvct: profiling crash-eligible tick space: %w", err)
+		}
+		if g > 0 {
 			space = g
 		}
 	}
@@ -433,16 +536,44 @@ func (t *Tester) RunCampaign(policy *Policy, opts CampaignOpts) *Report {
 	for i := range points {
 		points[i] = 1 + uint64(rng.Int63n(int64(space)))
 	}
+	// Per-test fault seeds are drawn serially after the crash points, so a
+	// fault campaign is deterministic across Parallel settings and a
+	// zero-fault campaign draws exactly the sequence it always did.
+	var faultSeeds []int64
+	if opts.Faults.Enabled() {
+		faultSeeds = make([]int64, opts.Tests)
+		for i := range faultSeeds {
+			faultSeeds[i] = rng.Int63()
+		}
+	}
+	seedAt := func(i int) int64 {
+		if faultSeeds == nil {
+			return 0
+		}
+		return faultSeeds[i]
+	}
 
 	rep := &Report{
-		Kernel:  t.name,
-		Policy:  policy,
-		Regions: t.golden.Regions,
-		Tests:   make([]TestResult, opts.Tests),
+		Kernel:    t.name,
+		Policy:    policy,
+		Regions:   t.golden.Regions,
+		Tests:     make([]TestResult, opts.Tests),
+		Requested: opts.Tests,
+	}
+	done := make([]bool, opts.Tests)
+	runIdx := func(i int) {
+		res, keep := t.runOneIsolated(ctx, policy, points[i], seedAt(i), opts)
+		if keep {
+			rep.Tests[i] = res
+			done[i] = true
+		}
 	}
 	if workers == 1 {
-		for i, crashAt := range points {
-			rep.Tests[i] = t.runOne(policy, crashAt, opts)
+		for i := range points {
+			if ctx.Err() != nil {
+				break
+			}
+			runIdx(i)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -452,20 +583,85 @@ func (t *Tester) RunCampaign(policy *Policy, opts CampaignOpts) *Report {
 			go func() {
 				defer wg.Done()
 				for i := range next {
-					rep.Tests[i] = t.runOne(policy, points[i], opts)
+					runIdx(i)
 				}
 			}()
 		}
+	feed:
 		for i := range points {
-			next <- i
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				break feed
+			}
 		}
 		close(next)
 		wg.Wait()
 	}
+
+	// Compact to the completed tests (a no-op unless cancelled early).
+	kept := rep.Tests[:0]
+	for i := range rep.Tests {
+		if done[i] {
+			kept = append(kept, rep.Tests[i])
+		}
+	}
+	rep.Tests = kept
 	for _, res := range rep.Tests {
 		rep.Counts[res.Outcome]++
 	}
-	return rep
+	return rep, ctx.Err()
+}
+
+// runOneIsolated runs one crash test, containing any panic that escapes the
+// simulated crash protocol: a panicking kernel factory or a test that blows
+// its deadline becomes one SErr result instead of killing the worker pool.
+// keep is false only when the campaign context itself was cancelled — the
+// half-finished test is then discarded from the partial report.
+func (t *Tester) runOneIsolated(ctx context.Context, policy *Policy, crashAt uint64, faultSeed int64, opts CampaignOpts) (res TestResult, keep bool) {
+	var deadline time.Time
+	if opts.TestTimeout > 0 {
+		deadline = time.Now().Add(opts.TestTimeout)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if a, ok := r.(*sim.Abort); ok && !errors.Is(a.Err, errTestTimeout) {
+			// Campaign cancellation, not a per-test failure.
+			res, keep = TestResult{}, false
+			return
+		}
+		res = TestResult{
+			CrashAccess: crashAt,
+			CrashRegion: sim.NoRegion,
+			Outcome:     SErr,
+			Err:         fmt.Sprint(r),
+		}
+		keep = true
+	}()
+	return t.runOne(ctx, policy, crashAt, faultSeed, opts, deadline), true
+}
+
+// setInterrupt wires campaign cancellation and the per-test deadline into a
+// machine's interrupt check. It installs nothing when neither applies, so
+// the default path stays hook-free.
+func setInterrupt(ctx context.Context, m *sim.Machine, deadline time.Time) {
+	if ctx.Done() == nil && deadline.IsZero() {
+		return
+	}
+	m.SetInterrupt(0, func() error {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return errTestTimeout
+		}
+		return nil
+	})
 }
 
 // profileTicks measures the policy's total crash-eligible ticks (demand
@@ -485,7 +681,7 @@ func (t *Tester) profileTicks(policy *Policy) (uint64, error) {
 }
 
 // runOne executes a single crash-and-restart test.
-func (t *Tester) runOne(policy *Policy, crashAt uint64, opts CampaignOpts) TestResult {
+func (t *Tester) runOne(ctx context.Context, policy *Policy, crashAt uint64, faultSeed int64, opts CampaignOpts, deadline time.Time) TestResult {
 	verified := opts.Verified
 	// Phase 1: run until the crash fires.
 	k := t.factory()
@@ -495,8 +691,14 @@ func (t *Tester) runOne(policy *Policy, crashAt uint64, opts CampaignOpts) TestR
 	if opts.CrashDuringPersistence {
 		m.SetFlushCrashEligible(true)
 	}
+	var inj *faultmodel.Injector
+	if opts.Faults.Enabled() {
+		inj = faultmodel.New(opts.Faults, faultSeed)
+		m.AttachFaults(inj)
+	}
 	m.SetPersister(newPolicyPersister(m, k, policy))
 	m.SetCrashAfter(crashAt)
+	setInterrupt(ctx, m, deadline)
 
 	crash := t.runToCrash(k, m)
 	if crash == nil {
@@ -505,7 +707,9 @@ func (t *Tester) runOne(policy *Policy, crashAt uint64, opts CampaignOpts) TestR
 		return TestResult{CrashAccess: crashAt, CrashRegion: sim.NoRegion, Outcome: S1}
 	}
 
-	// Postmortem: per-candidate inconsistency, then the durable dump.
+	// Postmortem: per-candidate inconsistency, then the durable dump. The
+	// media-fault layer mutates the image before the dump is taken — what
+	// restart sees is the image as the failing media left it.
 	inc := make(map[string]float64, len(t.golden.Candidates))
 	for _, o := range t.golden.Candidates {
 		inc[o.Name] = m.InconsistencyRate(o)
@@ -513,7 +717,19 @@ func (t *Tester) runOne(policy *Policy, crashAt uint64, opts CampaignOpts) TestR
 	if verified {
 		m.Hierarchy().WriteBackAll()
 	}
-	m.CrashNow()
+	var media faultmodel.Injection
+	var poison map[uint64]struct{}
+	if inj != nil {
+		media = m.CrashWithFaults()
+		if media.PoisonedBlocks > 0 {
+			poison = make(map[uint64]struct{}, media.PoisonedBlocks)
+			for _, b := range m.Image().PoisonedBlocks() {
+				poison[b] = struct{}{}
+			}
+		}
+	} else {
+		m.CrashNow()
+	}
 	dump := m.Image().Snapshot()
 
 	res := TestResult{
@@ -521,13 +737,15 @@ func (t *Tester) runOne(policy *Policy, crashAt uint64, opts CampaignOpts) TestR
 		CrashRegion:   crash.Region,
 		CrashIter:     crash.Iter,
 		Inconsistency: inc,
+		Media:         media,
 	}
 
 	// Phase 2: restart from the dump.
-	outcome, extra, final := t.restart(dump)
+	outcome, extra, final, scrubbed := t.restart(ctx, dump, poison, crash.Iter, opts.ScrubOnRestart, deadline)
 	res.Outcome = outcome
 	res.ExtraIters = extra
 	res.FinalResult = final
+	res.ScrubbedObjects = scrubbed
 	return res
 }
 
@@ -550,23 +768,46 @@ func (t *Tester) runToCrash(k apps.Kernel, m *sim.Machine) (crash *sim.Crash) {
 
 // restart re-initialises the application, reloads persisted objects from
 // the dump (Figure 2b), resumes the main loop at the bookmarked iteration,
-// and classifies the outcome.
-func (t *Tester) restart(dump []byte) (Outcome, int64, []float64) {
+// and classifies the outcome. poison carries the detected-uncorrectable
+// blocks of the crashed image: touching one aborts the restart with SDue
+// unless the scrub-and-fallback path is enabled, in which case the poisoned
+// object is re-initialised instead of restored (and a poisoned bookmark
+// falls back to iteration 0, counting the redone iterations as extra).
+func (t *Tester) restart(ctx context.Context, dump []byte, poison map[uint64]struct{}, crashIter int64, scrub bool, deadline time.Time) (Outcome, int64, []float64, int) {
 	k := t.factory()
 	m := sim.NewMachine(t.cfg.NVMBytes, t.cfg.Cache)
 	k.Setup(m)
+	setInterrupt(ctx, m, deadline)
 
-	// Read the bookmarked iteration from the dump.
+	// Read the bookmarked iteration from the dump — unless its blocks are
+	// poisoned, in which case the durable bookmark is unreadable.
 	itObj := k.IterObject()
-	from := int64(leUint64(dump[itObj.Addr : itObj.Addr+8]))
-	if from < 0 || from > t.golden.Iters {
-		// A corrupted bookmark: the restarted process would index past its
-		// data — the segfault case.
-		return S3, 0, nil
+	scrubbed := 0
+	from := int64(0)
+	bookmarkLost := overlapsPoison(itObj, poison)
+	if bookmarkLost {
+		if !scrub {
+			return SDue, 0, nil, 0
+		}
+		scrubbed++ // fall back to iteration 0
+	} else {
+		from = int64(leUint64(dump[itObj.Addr : itObj.Addr+8]))
+		if from < 0 || from > t.golden.Iters {
+			// A corrupted bookmark: the restarted process would index past
+			// its data — the segfault case.
+			return S3, 0, nil, 0
+		}
 	}
 
 	k.Init(m)
 	for _, o := range m.Space().Candidates() {
+		if overlapsPoison(o, poison) {
+			if !scrub {
+				return SDue, 0, nil, scrubbed
+			}
+			scrubbed++ // keep the freshly initialised values
+			continue
+		}
 		m.RestoreObject(o, dump[o.Addr:o.End()])
 	}
 	m.I64(itObj).Set(0, from)
@@ -577,30 +818,53 @@ func (t *Tester) restart(dump []byte) (Outcome, int64, []float64) {
 	budget := int64(float64(t.golden.Iters) * t.cfg.MaxIterFactor)
 	executed, err, interrupted := t.runRestart(k, m, from, budget)
 	if interrupted || err != nil {
-		return S3, 0, nil
+		return S3, 0, nil, scrubbed
 	}
 	total := from + executed
 	extra := total - t.golden.Iters
 	if extra < 0 {
 		extra = 0
 	}
+	if bookmarkLost {
+		// The redone iterations up to the crash point are extra work the
+		// scrub fallback paid for losing the bookmark.
+		extra += crashIter
+	}
 	final := k.Result(m)
 	if !k.Verify(m, t.golden.Result) {
-		return S4, extra, final
+		return S4, extra, final, scrubbed
 	}
 	if extra > 0 {
-		return S2, extra, final
+		return S2, extra, final, scrubbed
 	}
-	return S1, 0, final
+	return S1, 0, final, scrubbed
+}
+
+// overlapsPoison reports whether any cache block of the object is in the
+// poisoned set.
+func overlapsPoison(o mem.Object, poison map[uint64]struct{}) bool {
+	if len(poison) == 0 {
+		return false
+	}
+	for b := o.Addr &^ (mem.BlockSize - 1); b < o.End(); b += mem.BlockSize {
+		if _, bad := poison[b]; bad {
+			return true
+		}
+	}
+	return false
 }
 
 // runRestart runs the restarted main loop, converting runtime panics from
 // corrupted state (index out of range and friends) into interruptions.
+// Crash and abort panics belong to the campaign engine and are re-thrown.
 func (t *Tester) runRestart(k apps.Kernel, m *sim.Machine, from, budget int64) (executed int64, err error, interrupted bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			if _, isCrash := r.(*sim.Crash); isCrash {
 				panic(r) // no crash is armed during restart; a bug
+			}
+			if _, isAbort := r.(*sim.Abort); isAbort {
+				panic(r) // deadline/cancellation: the campaign engine handles it
 			}
 			interrupted = true
 		}

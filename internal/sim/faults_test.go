@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"easycrash/internal/cachesim"
+	"easycrash/internal/faultmodel"
+)
+
+func TestCrashWithFaultsWithoutInjectorIsCrashNow(t *testing.T) {
+	m := newM(t)
+	o := m.Space().AllocF64("x", 64, true)
+	v := m.F64(o)
+	m.MainLoopBegin()
+	for i := 0; i < v.Len(); i++ {
+		v.Set(i, float64(i))
+	}
+	m.MainLoopEnd()
+	if inj := m.CrashWithFaults(); inj != (faultmodel.Injection{}) {
+		t.Fatalf("no injector attached, but CrashWithFaults injected %+v", inj)
+	}
+	// Caches dropped: no dirty (cache-ahead-of-NVM) bytes remain.
+	if r := m.InconsistencyRate(o); r != 0 {
+		t.Fatalf("inconsistency %v after crash, want 0 (caches dropped)", r)
+	}
+}
+
+func TestInterruptAbortsRun(t *testing.T) {
+	m := newM(t)
+	o := m.Space().AllocF64("x", 8, true)
+	v := m.F64(o)
+	errStop := errors.New("stop")
+	fired := 0
+	m.SetInterrupt(10, func() error {
+		fired++
+		if fired >= 3 {
+			return errStop
+		}
+		return nil
+	})
+	m.MainLoopBegin()
+	defer func() {
+		r := recover()
+		a, ok := r.(*Abort)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want *Abort", r, r)
+		}
+		if !errors.Is(a, errStop) {
+			t.Fatalf("Abort unwraps to %v, want errStop", a.Err)
+		}
+		if a.Error() == "" {
+			t.Fatal("empty abort message")
+		}
+		// Interrupt checked every 10 accesses; the error came on the third.
+		if fired != 3 {
+			t.Fatalf("interrupt fired %d times", fired)
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		v.Set(0, float64(i))
+	}
+	t.Fatal("interrupt error did not abort the run")
+}
+
+func TestInterruptOutsideMainLoopNeverFires(t *testing.T) {
+	m := newM(t)
+	o := m.Space().AllocF64("x", 8, true)
+	v := m.F64(o)
+	m.SetInterrupt(1, func() error { return errors.New("boom") })
+	// Accesses outside the main loop are not crash-clock ticks.
+	for i := 0; i < 100; i++ {
+		v.Set(0, float64(i))
+	}
+}
+
+func TestTearArmedOnlyWhenWriteInFlight(t *testing.T) {
+	// A machine with a tiny cache evicts constantly; the injector must see
+	// those media writes and the crash must arm a tear for the in-flight one.
+	// 128 KiB streamed working set vs a 32 KiB L3: write-backs are constant.
+	m := NewMachine(1<<20, cachesim.TestConfig())
+	o := m.Space().AllocF64("x", 16384, true)
+	v := m.F64(o)
+	inj := faultmodel.New(faultmodel.Config{TornWrites: true}, 1)
+	m.AttachFaults(inj)
+	m.SetCrashAfter(20000)
+	m.MainLoopBegin()
+	func() {
+		defer func() {
+			if _, ok := recover().(*Crash); !ok {
+				t.Fatal("crash did not fire")
+			}
+		}()
+		for i := 0; ; i = (i + 1) % v.Len() {
+			v.Set(i, float64(i))
+		}
+	}()
+	if inj.WriteSeq() == 0 {
+		t.Fatal("injector observed no media writes despite cache evictions")
+	}
+	rep := m.CrashWithFaults()
+	// The torn block is the one in flight; with 8 fresh words per block the
+	// tear reverts on average half of them. It may legitimately revert zero,
+	// but the injection must never corrupt anything beyond the tear.
+	if rep.SilentBlocks != 0 || rep.PoisonedBlocks != 0 || rep.FlippedBits != 0 {
+		t.Fatalf("torn-write-only config injected bit errors: %+v", rep)
+	}
+}
+
+func TestAttachFaultsNilDetaches(t *testing.T) {
+	m := newM(t)
+	inj := faultmodel.New(faultmodel.Config{TornWrites: true}, 1)
+	m.AttachFaults(inj)
+	m.AttachFaults(nil)
+	o := m.Space().AllocF64("x", 512, true)
+	v := m.F64(o)
+	m.MainLoopBegin()
+	for i := 0; i < v.Len(); i++ {
+		v.Set(i, 1)
+	}
+	m.MainLoopEnd()
+	m.Hierarchy().WriteBackAll()
+	if inj.WriteSeq() != 0 {
+		t.Fatal("detached injector still observed writes")
+	}
+}

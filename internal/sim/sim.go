@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"easycrash/internal/cachesim"
+	"easycrash/internal/faultmodel"
 	"easycrash/internal/mem"
 )
 
@@ -37,6 +38,19 @@ type Crash struct {
 func (c *Crash) Error() string {
 	return fmt.Sprintf("simulated crash at access %d (region %d, iteration %d)", c.Access, c.Region, c.Iter)
 }
+
+// Abort is the panic payload delivered when the machine's interrupt check
+// stops a run (per-test deadline exceeded, campaign context cancelled). The
+// campaign driver recovers it; kernels never see it.
+type Abort struct {
+	Err error
+}
+
+// Error implements error.
+func (a *Abort) Error() string { return fmt.Sprintf("simulated run aborted: %v", a.Err) }
+
+// Unwrap exposes the abort cause to errors.Is/As.
+func (a *Abort) Unwrap() error { return a.Err }
 
 // Observer receives every demand access issued inside the main loop. It is
 // the hook the application-characterisation study (package predict, after
@@ -86,8 +100,26 @@ type Machine struct {
 	// middle of a persistence operation, leaving it partially applied.
 	flushCrashes bool
 
+	// faults is the attached media-fault injector (nil = perfect media).
+	// lastWriteSeq remembers the injector's media-write count at the
+	// previous crash-clock tick, so the crash can tell whether a write-back
+	// or flush was in flight when it fired.
+	faults       *faultmodel.Injector
+	lastWriteSeq uint64
+
+	// intrFn is invoked every intrEvery crash-clock ticks; a non-nil error
+	// aborts the run by panicking with *Abort. Used for per-test deadlines
+	// and campaign cancellation; nil costs one predictable branch per tick.
+	intrFn    func() error
+	intrEvery uint64
+	intrCount uint64
+
 	buf [8]byte
 }
+
+// DefaultInterruptStride is how many main-loop accesses pass between
+// interrupt checks when SetInterrupt is called with every = 0.
+const DefaultInterruptStride = 4096
 
 // PersistStats counts persistence work done by the Persister through the
 // Machine's flush helpers.
@@ -133,6 +165,41 @@ func (m *Machine) SetFlushCrashEligible(v bool) { m.flushCrashes = v }
 
 // PersistStats returns the persistence counters accumulated so far.
 func (m *Machine) PersistStats() PersistStats { return m.persist }
+
+// AttachFaults installs a media-fault injector: it observes every media
+// write through the image's write hook and is applied by CrashWithFaults.
+// nil detaches (perfect media, the paper's assumption).
+func (m *Machine) AttachFaults(in *faultmodel.Injector) {
+	m.faults = in
+	if in == nil {
+		m.space.Image().SetWriteHook(nil)
+		return
+	}
+	m.space.Image().SetWriteHook(in.ObserveWrite)
+	m.lastWriteSeq = in.WriteSeq()
+}
+
+// SetInterrupt installs a check invoked every `every` main-loop accesses
+// (0 = DefaultInterruptStride); a non-nil error from fn aborts the run by
+// panicking with *Abort. fn = nil disables the check.
+func (m *Machine) SetInterrupt(every uint64, fn func() error) {
+	if every == 0 {
+		every = DefaultInterruptStride
+	}
+	m.intrFn, m.intrEvery, m.intrCount = fn, every, 0
+}
+
+// CrashWithFaults simulates power loss on imperfect media: volatile caches
+// are dropped, then the attached injector tears the in-flight block and
+// applies raw bit errors filtered through ECC. With no injector attached it
+// is exactly CrashNow.
+func (m *Machine) CrashWithFaults() faultmodel.Injection {
+	m.hier.DropAll()
+	if m.faults == nil {
+		return faultmodel.Injection{}
+	}
+	return m.faults.ApplyCrash(m.space.Image(), m.space.Extent())
+}
 
 // OnCore directs subsequent accesses to the given core (for multi-core
 // cache configurations).
@@ -213,7 +280,25 @@ func (m *Machine) account() {
 	m.regionAccess[m.region+1]++
 	if m.crashAt != 0 && m.mainAccess >= m.crashAt {
 		m.crashAt = 0
+		if m.faults != nil && m.faults.WriteSeq() > m.lastWriteSeq {
+			// A media write (eviction write-back or persistence flush)
+			// happened since the previous crash-clock tick: it was in
+			// flight when the power failed, so it is the tear target.
+			m.faults.ArmTear()
+		}
 		panic(&Crash{Access: m.mainAccess, Region: m.region, Iter: m.iter})
+	}
+	if m.faults != nil {
+		m.lastWriteSeq = m.faults.WriteSeq()
+	}
+	if m.intrFn != nil {
+		m.intrCount++
+		if m.intrCount >= m.intrEvery {
+			m.intrCount = 0
+			if err := m.intrFn(); err != nil {
+				panic(&Abort{Err: err})
+			}
+		}
 	}
 }
 
