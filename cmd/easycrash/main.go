@@ -15,7 +15,6 @@ import (
 	"easycrash/internal/apps"
 	"easycrash/internal/cli"
 	"easycrash/internal/core"
-	"easycrash/internal/faultmodel"
 	"easycrash/internal/nvct"
 	"easycrash/internal/sysmodel"
 )
@@ -33,10 +32,8 @@ func main() {
 		tchk    = flag.Float64("tchk", 320, "checkpoint overhead in seconds (> 0)")
 		profile = flag.String("profile", "test", "problem size: test | bench")
 		cache   = flag.String("cache", "test", "cache geometry: test | paper")
-		rber    = flag.Float64("rber", 0, "raw bit-error rate injected at each crash [0,1]")
-		torn    = flag.Bool("torn", false, "tear the in-flight block at crash time")
-		ecc     = flag.Int("ecc", 0, "per-block ECC correction capability in bits (detect = correct+1; 0: ECC off)")
 	)
+	faultFlags := cli.RegisterFaultFlags(flag.CommandLine, false)
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -55,11 +52,8 @@ func main() {
 		log.Fatalf("-tchk must be positive, got %g", *tchk)
 	}
 
-	faults := faultmodel.Config{RBER: *rber, TornWrites: *torn}
-	if *ecc > 0 {
-		faults.ECC = faultmodel.ECC{CorrectBits: *ecc, DetectBits: *ecc + 1}
-	}
-	if err := faults.Validate(); err != nil {
+	faults, err := faultFlags.Config()
+	if err != nil {
 		log.Fatal(err)
 	}
 

@@ -1,0 +1,88 @@
+// Command eclint runs the EasyCrash static-analysis suite over Go package
+// patterns and reports violations of the simulation invariants: raw mem.Image
+// access that bypasses the cache hierarchy (directmem), unbalanced
+// region/iteration/main-loop markers (regionpairs), element-index arithmetic
+// missing the 8-byte stride (addrstride), and nondeterminism in campaign code
+// (campaigndet).
+//
+// Usage:
+//
+//	eclint [-list] [packages]
+//
+// With no arguments it analyzes ./... . It exits 1 if any unsuppressed
+// finding is reported and 0 on a clean tree; findings are suppressed with
+// //eclint:allow <analyzer> annotations (see internal/analysis).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"easycrash/internal/analysis"
+	"easycrash/internal/analysis/suite"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: eclint [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Analyzes the given Go package patterns (default ./...) and exits 1\non any finding not suppressed by an //eclint:allow annotation.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := suite.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatalf("eclint: %v", err)
+	}
+	pkgs, err := analysis.LoadPatterns(cwd, patterns...)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	total := 0
+	for _, pkg := range pkgs {
+		findings, err := analysis.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for _, f := range findings {
+			fmt.Println(relativize(cwd, f))
+			total++
+		}
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "eclint: %d finding(s)\n", total)
+		os.Exit(1)
+	}
+}
+
+// relativize rewrites a finding's file name relative to the working
+// directory, keeping CI and editor output clickable.
+func relativize(cwd string, f analysis.Finding) string {
+	if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		f.Pos.Filename = rel
+	}
+	return f.String()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

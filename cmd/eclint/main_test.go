@@ -1,0 +1,72 @@
+package main_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildEclint compiles the eclint binary into a scratch dir once per test
+// run and returns its path.
+func buildEclint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "eclint")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building eclint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestSmokeBadFixture runs eclint against the deliberately broken fixture and
+// expects a non-zero exit with at least one finding from every analyzer.
+func TestSmokeBadFixture(t *testing.T) {
+	bin := buildEclint(t)
+	cmd := exec.Command(bin, "./testdata/src/easycrash/internal/apps/badkernel")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("eclint exited 0 on the bad fixture; output:\n%s", out)
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("eclint on the bad fixture: want exit code 1, got %v\n%s", err, out)
+	}
+	for _, name := range []string{"addrstride", "campaigndet", "directmem", "regionpairs"} {
+		if !strings.Contains(string(out), "("+name+")") {
+			t.Errorf("no %s finding in eclint output:\n%s", name, out)
+		}
+	}
+}
+
+// TestCleanTree runs eclint over the whole module and expects a clean exit:
+// the checked-in tree must carry no unsuppressed findings.
+func TestCleanTree(t *testing.T) {
+	root, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	bin := buildEclint(t)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = strings.TrimSpace(string(root))
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("eclint ./... failed: %v\n%s", err, out)
+	}
+	if len(strings.TrimSpace(string(out))) != 0 {
+		t.Errorf("eclint ./... produced output on a clean tree:\n%s", out)
+	}
+}
+
+// TestListFlag checks the -list inventory names every analyzer.
+func TestListFlag(t *testing.T) {
+	bin := buildEclint(t)
+	out, err := exec.Command(bin, "-list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("eclint -list: %v\n%s", err, out)
+	}
+	for _, name := range []string{"addrstride", "campaigndet", "directmem", "regionpairs"} {
+		if !strings.Contains(string(out), name) {
+			t.Errorf("eclint -list missing %s:\n%s", name, out)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+// Package badkernel is the eclint smoke fixture: a deliberately broken
+// kernel that violates every analyzer exactly once. The testdata/src prefix
+// keeps it out of ./... builds while letting the smoke test point eclint at
+// it with an explicit package path; the path below testdata/src mirrors
+// internal/apps so campaigndet scopes it like a real kernel.
+package badkernel
+
+import (
+	"math/rand"
+
+	"easycrash/internal/mem"
+	"easycrash/internal/sim"
+)
+
+// Step leaks region 0 on the early return (regionpairs), indexes without the
+// element stride (addrstride), and perturbs state with the global generator
+// (campaigndet).
+func Step(m *sim.Machine, o mem.Object, n int) float64 {
+	m.BeginRegion(0)
+	v := m.LoadF64(o.Addr + uint64(rand.Intn(n)))
+	if v < 0 {
+		return v
+	}
+	m.EndRegion(0)
+	return v
+}
+
+// Peek reads the durable image directly, bypassing the cache hierarchy
+// (directmem).
+func Peek(im *mem.Image, o mem.Object) float64 {
+	return im.Float64At(o.Addr)
+}

@@ -22,7 +22,6 @@ import (
 
 	"easycrash/internal/apps"
 	"easycrash/internal/cli"
-	"easycrash/internal/faultmodel"
 	"easycrash/internal/nvct"
 )
 
@@ -31,26 +30,21 @@ func main() {
 	log.SetPrefix("nvct: ")
 
 	var (
-		kernel    = flag.String("kernel", "mg", "kernel to test (see -list)")
-		list      = flag.Bool("list", false, "list kernels and exit")
-		tests     = flag.Int("tests", 200, "crash tests in the campaign (> 0)")
-		seed      = flag.Int64("seed", 1, "campaign seed")
-		persist   = flag.String("persist", "", "comma-separated data objects to persist (empty: none)")
-		regions   = flag.String("regions", "", "comma-separated region ids to flush at (empty with -persist: every iteration end)")
-		everyIt   = flag.Bool("every-iteration", false, "also flush at iteration ends")
-		freq      = flag.Int64("frequency", 1, "persist every x iterations (>= 1)")
-		verified  = flag.Bool("verified", false, "run the copy-based verified campaign variant")
-		duringP   = flag.Bool("during-persistence", false, "make persistence flushes crash-eligible")
-		parallel  = flag.Int("parallel", 0, "concurrent crash tests (0: GOMAXPROCS, 1: serial)")
-		profile   = flag.String("profile", "test", "problem size: test | bench")
-		cache     = flag.String("cache", "test", "cache geometry: test | paper")
-		rber      = flag.Float64("rber", 0, "raw bit-error rate injected into the surviving image at each crash [0,1]")
-		torn      = flag.Bool("torn", false, "tear the in-flight block at crash time (8-byte old/new interleave)")
-		ecc       = flag.Int("ecc", 0, "per-block ECC correction capability in bits (0: ECC off)")
-		eccDetect = flag.Int("ecc-detect", 0, "per-block ECC detection capability in bits (0 with -ecc > 0: correct+1)")
-		scrub     = flag.Bool("scrub", false, "scrub-and-fallback restart: re-initialise poisoned objects instead of aborting")
-		timeout   = flag.Duration("timeout", 0, "per-test deadline (0: none); an exceeded test is recorded as ERR")
+		kernel   = flag.String("kernel", "mg", "kernel to test (see -list)")
+		list     = flag.Bool("list", false, "list kernels and exit")
+		tests    = flag.Int("tests", 200, "crash tests in the campaign (> 0)")
+		seed     = flag.Int64("seed", 1, "campaign seed")
+		persist  = flag.String("persist", "", "comma-separated data objects to persist (empty: none)")
+		regions  = flag.String("regions", "", "comma-separated region ids to flush at (empty with -persist: every iteration end)")
+		everyIt  = flag.Bool("every-iteration", false, "also flush at iteration ends")
+		freq     = flag.Int64("frequency", 1, "persist every x iterations (>= 1)")
+		verified = flag.Bool("verified", false, "run the copy-based verified campaign variant")
+		duringP  = flag.Bool("during-persistence", false, "make persistence flushes crash-eligible")
+		parallel = flag.Int("parallel", 0, "concurrent crash tests (0: GOMAXPROCS, 1: serial)")
+		profile  = flag.String("profile", "test", "problem size: test | bench")
+		cache    = flag.String("cache", "test", "cache geometry: test | paper")
 	)
+	faultFlags := cli.RegisterFaultFlags(flag.CommandLine, true)
 	flag.Parse()
 
 	if *list {
@@ -69,18 +63,8 @@ func main() {
 	if *parallel < 0 {
 		log.Fatalf("-parallel must be >= 0, got %d", *parallel)
 	}
-	if *timeout < 0 {
-		log.Fatalf("-timeout must be >= 0, got %v", *timeout)
-	}
-
-	faults := faultmodel.Config{RBER: *rber, TornWrites: *torn}
-	if *ecc > 0 || *eccDetect > 0 {
-		faults.ECC = faultmodel.ECC{CorrectBits: *ecc, DetectBits: *eccDetect}
-		if faults.ECC.DetectBits == 0 {
-			faults.ECC.DetectBits = faults.ECC.CorrectBits + 1
-		}
-	}
-	if err := faults.Validate(); err != nil {
+	faults, err := faultFlags.Config()
+	if err != nil {
 		log.Fatal(err)
 	}
 
@@ -116,8 +100,8 @@ func main() {
 		Parallel:               *parallel,
 		CrashDuringPersistence: *duringP,
 		Faults:                 faults,
-		ScrubOnRestart:         *scrub,
-		TestTimeout:            *timeout,
+		ScrubOnRestart:         faultFlags.Scrub,
+		TestTimeout:            faultFlags.Timeout,
 	}
 	rep, err := tester.RunCampaignContext(context.Background(), policy, opts)
 	if err != nil {
@@ -127,7 +111,7 @@ func main() {
 	fmt.Printf("\ncampaign: %d tests (seed %d, policy %s)\n", *tests, *seed, cli.DescribePolicy(policy, *verified))
 	if faults.Enabled() {
 		fmt.Printf("  media faults: RBER %g, torn writes %v, ECC correct %d / detect %d, scrub %v\n",
-			faults.RBER, faults.TornWrites, faults.ECC.CorrectBits, faults.ECC.DetectBits, *scrub)
+			faults.RBER, faults.TornWrites, faults.ECC.CorrectBits, faults.ECC.DetectBits, faultFlags.Scrub)
 	}
 	n := float64(len(rep.Tests))
 	fmt.Printf("  S1 success, no extra iters : %4d (%.1f%%)\n", rep.Counts[nvct.S1], 100*float64(rep.Counts[nvct.S1])/n)

@@ -1,0 +1,169 @@
+// Package addrstride detects element-index arithmetic on mem.Object.Addr
+// that forgets the 8-byte element stride.
+//
+// Data objects hold float64/int64 elements, so element i of object o lives
+// at o.Addr + uint64(i)*8. Writing o.Addr + uint64(i) instead silently reads
+// or writes the wrong element — the address is still inside the object, so
+// nothing crashes; the kernel just computes garbage and the crash campaign
+// characterises a workload that does not exist. The typed views
+// (sim.F64Slice / sim.I64Slice via Machine.F64/I64) make the bug
+// inexpressible and are the recommended fix.
+//
+// The check fires on the address argument of the demand-access and
+// raw-access entry points (Machine.LoadF64/StoreF64/LoadI64/StoreI64 and the
+// Image *At accessors): a `o.Addr + e` (or `e + o.Addr`) term is reported
+// unless e is provably a multiple of 8 — a constant multiple of 8, a
+// multiplication or shift by one, a sum/difference of such terms, an
+// Object.Size, or an Object.End() offset.
+package addrstride
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"easycrash/internal/analysis"
+)
+
+const (
+	memPath = "easycrash/internal/mem"
+	simPath = "easycrash/internal/sim"
+)
+
+// addrTakers maps receiver type (by package) to the methods whose first
+// argument is an NVM address.
+var addrTakers = map[[2]string]map[string]bool{
+	{simPath, "Machine"}: {
+		"LoadF64": true, "StoreF64": true, "LoadI64": true, "StoreI64": true,
+	},
+	{memPath, "Image"}: {
+		"Float64At": true, "SetFloat64At": true, "Int64At": true, "SetInt64At": true,
+	},
+}
+
+// Analyzer is the addrstride check.
+var Analyzer = &analysis.Analyzer{
+	Name: "addrstride",
+	Doc:  "detects address arithmetic on mem.Object.Addr that forgets the 8-byte element stride (use F64Slice/I64Slice)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.Info, call)
+			if fn == nil {
+				return true
+			}
+			pkg, typ, ok := analysis.RecvNamed(fn)
+			if !ok || !addrTakers[[2]string{pkg, typ}][fn.Name()] {
+				return true
+			}
+			checkAddrExpr(pass, call.Args[0])
+			return true
+		})
+	}
+	return nil
+}
+
+// checkAddrExpr scans an address expression for `o.Addr ± e` terms with a
+// stride-unsafe e.
+func checkAddrExpr(pass *analysis.Pass, arg ast.Expr) {
+	ast.Inspect(arg, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.ADD && be.Op != token.SUB) {
+			return true
+		}
+		var offset ast.Expr
+		switch {
+		case isObjectAddr(pass, be.X):
+			offset = be.Y
+		case be.Op == token.ADD && isObjectAddr(pass, be.Y):
+			offset = be.X
+		default:
+			return true
+		}
+		if !strideSafe(pass, offset) {
+			pass.Reportf(be.Pos(),
+				"offset %q on mem.Object.Addr is not a multiple of the 8-byte element stride; element i lives at Addr + uint64(i)*8 — use Machine.F64/I64 slices instead of raw address arithmetic",
+				exprString(pass, offset))
+		}
+		return true
+	})
+}
+
+// isObjectAddr reports whether e is a selection of the Addr field of a
+// mem.Object (through values, pointers or struct fields).
+func isObjectAddr(pass *analysis.Pass, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Addr" {
+		return false
+	}
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		// Qualified package selectors (pkg.Var) have no selection entry.
+		return false
+	}
+	obj := s.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == memPath
+}
+
+// strideSafe reports whether e is provably a multiple of 8 bytes.
+func strideSafe(pass *analysis.Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	// Constants: any known value that is a multiple of 8.
+	if tv, ok := pass.Info.Types[e]; ok && tv.Value != nil {
+		if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+			return v%8 == 0
+		}
+		return false
+	}
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.ADD, token.SUB:
+			return strideSafe(pass, e.X) && strideSafe(pass, e.Y)
+		case token.MUL:
+			return strideSafe(pass, e.X) || strideSafe(pass, e.Y)
+		case token.SHL:
+			if tv, ok := pass.Info.Types[e.Y]; ok && tv.Value != nil {
+				if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+					return v >= 3
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		// o.Size is a byte count of whole 8-byte elements.
+		if e.Sel.Name == "Size" {
+			if s, ok := pass.Info.Selections[e]; ok && s.Kind() == types.FieldVal {
+				obj := s.Obj()
+				return obj.Pkg() != nil && obj.Pkg().Path() == memPath
+			}
+		}
+	case *ast.CallExpr:
+		// A conversion like uint64(x) preserves multiples-of-8-ness.
+		if tv, ok := pass.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return strideSafe(pass, e.Args[0])
+		}
+		// o.End() is Addr+Size: block-aligned Addr plus a safe Size.
+		if analysis.IsMethod(pass.Info, e, memPath, "Object", "End") {
+			return true
+		}
+	}
+	return false
+}
+
+func exprString(pass *analysis.Pass, e ast.Expr) string {
+	var b strings.Builder
+	if err := printer.Fprint(&b, pass.Fset, e); err != nil {
+		return "<expr>"
+	}
+	return b.String()
+}

@@ -1,0 +1,14 @@
+package addrstride_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"easycrash/internal/analysis/addrstride"
+	"easycrash/internal/analysis/analysistest"
+)
+
+func TestAddrStride(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "kernel")
+	analysistest.Run(t, dir, "easycrash/internal/apps/fixture", addrstride.Analyzer)
+}

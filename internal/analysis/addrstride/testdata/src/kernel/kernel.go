@@ -1,0 +1,57 @@
+// Package kernel is the addrstride fixture: element indices added to
+// Object.Addr without the *8 stride must be reported; byte-correct offsets,
+// typed slices, and non-Object Addr fields must stay silent.
+package kernel
+
+import (
+	"easycrash/internal/mem"
+	"easycrash/internal/sim"
+)
+
+func missingStride(m *sim.Machine, o mem.Object, i int) float64 {
+	return m.LoadF64(o.Addr + uint64(i)) // want `not a multiple of the 8-byte element stride`
+}
+
+func missingStrideStore(m *sim.Machine, o mem.Object, i int) {
+	m.StoreI64(uint64(i)+o.Addr, 1) // want `not a multiple of the 8-byte element stride`
+}
+
+func oddConstant(m *sim.Machine, o mem.Object) float64 {
+	return m.LoadF64(o.Addr + 3) // want `not a multiple of the 8-byte element stride`
+}
+
+func rawAccessorStride(im *mem.Image, o mem.Object, i int) float64 {
+	return im.Float64At(o.Addr + uint64(i)) // want `not a multiple of the 8-byte element stride`
+}
+
+func strided(m *sim.Machine, o mem.Object, i, j int) float64 {
+	v := m.LoadF64(o.Addr + uint64(i)*8)
+	m.StoreF64(o.Addr+uint64(i)<<3, v)
+	m.StoreI64(o.Addr+8*uint64(j)+16, 1)
+	m.StoreF64(o.Addr+uint64(i*j)*8, v)
+	return v + m.LoadF64(o.Addr) // element 0: no arithmetic at all
+}
+
+func byteOffsets(m *sim.Machine, o mem.Object) float64 {
+	a := m.LoadF64(o.Addr + o.Size - 8)    // last element
+	b := m.LoadF64(o.Addr + mem.BlockSize) // block-aligned constant
+	return a + b
+}
+
+func typedViews(m *sim.Machine, o mem.Object, i int) float64 {
+	u := m.F64(o)
+	u.Set(i, 4.5)
+	return u.At(i)
+}
+
+func annotated(m *sim.Machine, o mem.Object, i int) float64 {
+	//eclint:allow addrstride — deliberate byte-granular probe
+	return m.LoadF64(o.Addr + uint64(i))
+}
+
+// otherAddr has an Addr field that is not mem.Object's; it must not fire.
+type otherAddr struct{ Addr uint64 }
+
+func notAnObject(m *sim.Machine, o otherAddr, i int) float64 {
+	return m.LoadF64(o.Addr + uint64(i))
+}

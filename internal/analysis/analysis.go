@@ -1,0 +1,219 @@
+// Package analysis is the self-contained core of eclint, the repo's static
+// checker for crash-consistency and determinism bugs in EasyCrash kernels.
+//
+// It mirrors the shape of golang.org/x/tools/go/analysis — an Analyzer with a
+// Run function over a type-checked Pass — but is built on the standard
+// library alone (go/ast, go/types, and export data produced by `go list
+// -export`), because this module deliberately has no external dependencies.
+//
+// Findings can be suppressed with an annotation comment on the offending
+// line or on the line directly above it:
+//
+//	//eclint:allow directmem — recovery path reads durable state on purpose
+//	//eclint:allow directmem,campaigndet
+//
+// The annotation names one or more analyzers (comma-separated); everything
+// after the names is a free-form justification. Unsuppressed findings from
+// cmd/eclint fail CI, so every annotation is a reviewed, documented
+// exception to a simulation invariant.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check: a name (used in output and in
+// //eclint:allow annotations), one-paragraph documentation, and a Run
+// function invoked once per loaded package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Path     string // package import path (see Package.Path for testdata fixtures)
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(token.Pos, string)
+}
+
+// Reportf records a finding at pos. The position must come from a file in
+// this pass's package.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, fmt.Sprintf(format, args...))
+}
+
+// Finding is one reported, unsuppressed diagnostic.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// RunAnalyzers applies the analyzers to one loaded package, filters findings
+// through the package's //eclint:allow annotations, and returns the
+// survivors sorted by position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	allow := collectAllows(pkg)
+	var out []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Path:     pkg.Path,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+		}
+		pass.report = func(pos token.Pos, msg string) {
+			p := pkg.Fset.Position(pos)
+			if allow.allows(a.Name, p) {
+				return
+			}
+			out = append(out, Finding{Analyzer: a.Name, Pos: p, Message: msg})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// allowSet maps file name -> line -> analyzer names allowed there.
+type allowSet map[string]map[int][]string
+
+const allowPrefix = "eclint:allow"
+
+func collectAllows(pkg *Package) allowSet {
+	set := allowSet{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				fields := strings.Fields(text[len(allowPrefix):])
+				if len(fields) == 0 {
+					continue
+				}
+				p := pkg.Fset.Position(c.Pos())
+				lines := set[p.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					set[p.Filename] = lines
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					if name = strings.TrimSpace(name); name != "" {
+						lines[p.Line] = append(lines[p.Line], name)
+					}
+				}
+			}
+		}
+	}
+	return set
+}
+
+// allows reports whether analyzer name is suppressed at position p: an
+// annotation on the same line (trailing comment) or on the line above.
+func (s allowSet) allows(name string, p token.Position) bool {
+	lines := s[p.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, l := range []int{p.Line, p.Line - 1} {
+		for _, n := range lines[l] {
+			if n == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CalleeFunc resolves a call expression to the statically known function or
+// method it invokes, or nil (builtin, conversion, or dynamic call through a
+// function value).
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// RecvNamed returns the package path and type name of a method's receiver
+// (pointers dereferenced), or ok=false for package-level functions and
+// methods on unnamed types.
+func RecvNamed(fn *types.Func) (pkgPath, typeName string, ok bool) {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return "", "", false
+	}
+	t := sig.Recv().Type()
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil {
+		return "", "", false
+	}
+	return named.Obj().Pkg().Path(), named.Obj().Name(), true
+}
+
+// IsMethod reports whether call invokes the named method on the named type
+// (by package path), through a value or pointer receiver.
+func IsMethod(info *types.Info, call *ast.CallExpr, pkgPath, typeName, method string) bool {
+	fn := CalleeFunc(info, call)
+	if fn == nil || fn.Name() != method {
+		return false
+	}
+	p, t, ok := RecvNamed(fn)
+	return ok && p == pkgPath && t == typeName
+}
+
+// EffectivePath strips a leading `.../testdata/src/` prefix from an import
+// path, so fixture trees that mirror real package layouts under testdata/src
+// are scoped like the packages they mirror (the analysistest convention).
+func EffectivePath(path string) string {
+	const marker = "/testdata/src/"
+	if i := strings.LastIndex(path, marker); i >= 0 {
+		return path[i+len(marker):]
+	}
+	return path
+}

@@ -1,0 +1,139 @@
+// Package analysistest runs eclint analyzers over testdata fixture packages
+// and checks their findings against `// want` comments, following the
+// conventions of golang.org/x/tools/go/analysis/analysistest:
+//
+//	im.RawWrite(0, b) // want `bypasses the simulated cache hierarchy`
+//
+// A want comment carries one or more Go string literals, each a regular
+// expression that must match the message of a distinct finding reported on
+// that line. Findings without a matching want, and wants without a matching
+// finding, fail the test.
+//
+// Fixtures live under testdata/src/<name>/ and are loaded with a
+// caller-chosen import path, so a fixture can stand in for a scoped package
+// (e.g. easycrash/internal/apps/...) while importing the real mem and sim
+// packages.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"easycrash/internal/analysis"
+)
+
+// Run loads the fixture package in dir under importPath, applies the
+// analyzers, and compares findings with the fixture's want comments.
+func Run(t *testing.T, dir, importPath string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	pkg, findings := load(t, dir, importPath, analyzers)
+	wants := collectWants(t, pkg)
+
+	for _, f := range findings {
+		key := posKey{f.Pos.Filename, f.Pos.Line}
+		if !wants.match(key, f.Message) {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for key, exps := range wants {
+		for _, e := range exps {
+			if !e.matched {
+				t.Errorf("%s:%d: no finding matched want %q", key.file, key.line, e.rx.String())
+			}
+		}
+	}
+}
+
+// Findings loads the fixture package in dir under importPath and returns the
+// raw findings, ignoring want comments. Scope tests use it to prove an
+// analyzer stays silent when the same fixture is loaded under an
+// out-of-scope import path.
+func Findings(t *testing.T, dir, importPath string, analyzers ...*analysis.Analyzer) []analysis.Finding {
+	t.Helper()
+	_, findings := load(t, dir, importPath, analyzers)
+	return findings
+}
+
+func load(t *testing.T, dir, importPath string, analyzers []*analysis.Analyzer) (*analysis.Package, []analysis.Finding) {
+	t.Helper()
+	pkg, err := analysis.LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	findings, err := analysis.RunAnalyzers(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", dir, err)
+	}
+	return pkg, findings
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+type expectation struct {
+	rx      *regexp.Regexp
+	matched bool
+}
+
+type wantMap map[posKey][]*expectation
+
+func (w wantMap) match(key posKey, message string) bool {
+	for _, e := range w[key] {
+		if !e.matched && e.rx.MatchString(message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+func collectWants(t *testing.T, pkg *analysis.Package) wantMap {
+	t.Helper()
+	wants := wantMap{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := posKey{pos.Filename, pos.Line}
+				rest := strings.TrimSpace(m[1])
+				for rest != "" {
+					lit, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want comment %q: %v", pos.Filename, pos.Line, c.Text, err)
+					}
+					pattern, err := strconv.Unquote(lit)
+					if err != nil {
+						t.Fatalf("%s:%d: unquoting %s: %v", pos.Filename, pos.Line, lit, err)
+					}
+					rx, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pattern, err)
+					}
+					wants[key] = append(wants[key], &expectation{rx: rx})
+					rest = strings.TrimSpace(rest[len(lit):])
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// String formats a finding list for debugging test failures.
+func String(findings []analysis.Finding) string {
+	var b strings.Builder
+	for _, f := range findings {
+		fmt.Fprintf(&b, "%s\n", f)
+	}
+	return b.String()
+}

@@ -1,0 +1,24 @@
+package campaigndet_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"easycrash/internal/analysis/analysistest"
+	"easycrash/internal/analysis/campaigndet"
+)
+
+func TestCampaignDet(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "kernel")
+	analysistest.Run(t, dir, "easycrash/internal/apps/fixture", campaigndet.Analyzer)
+}
+
+// TestOutOfScope loads the same fixture under an import path outside the
+// determinism-critical set; the analyzer must stay completely silent there.
+func TestOutOfScope(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "kernel")
+	findings := analysistest.Findings(t, dir, "easycrash/internal/report/fixture", campaigndet.Analyzer)
+	for _, f := range findings {
+		t.Errorf("finding outside campaign scope: %s", f)
+	}
+}

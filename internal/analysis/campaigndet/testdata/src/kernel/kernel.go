@@ -1,0 +1,87 @@
+// Package kernel is the campaigndet fixture: global math/rand, time.Now and
+// map ranges must be reported; seeded generators, sorted iteration and
+// annotated exceptions must stay silent.
+package kernel
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func globalRand(n int) float64 {
+	rand.Shuffle(n, func(i, j int) {}) // want `global math/rand\.Shuffle draws from process-wide state`
+	if rand.Intn(n) == 0 {             // want `global math/rand\.Intn draws from process-wide state`
+		return rand.Float64() // want `global math/rand\.Float64 draws from process-wide state`
+	}
+	return 0
+}
+
+// seededRand is the deterministic-replay idiom: a local generator seeded
+// from the campaign seed. Constructors and methods must not fire.
+func seededRand(seed int64, n int) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(n, func(i, j int) {})
+	if rng.Intn(n) == 0 {
+		return rng.Float64()
+	}
+	return 0
+}
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now makes campaign behaviour depend on the wall clock`
+}
+
+func allowedDeadline(d time.Duration) time.Time {
+	//eclint:allow campaigndet — operator-facing watchdog, not part of replayed state
+	return time.Now().Add(d)
+}
+
+func clockFreeTime(d time.Duration) time.Duration {
+	// Duration arithmetic and fixed conversions never read the wall clock.
+	return d + 2*time.Second + time.Unix(0, 0).Sub(time.Unix(0, 0))
+}
+
+func mapOrder(scores map[string]float64) float64 {
+	var sum float64
+	for _, v := range scores { // want `map iteration order is randomized`
+		sum += v
+	}
+	return sum
+}
+
+// sortedOrder is the deterministic fix: collect and sort the keys, then
+// index the map. The key-collection range is itself order-insensitive and
+// carries the sanctioned annotation.
+func sortedOrder(scores map[string]float64) float64 {
+	keys := make([]string, 0, len(scores))
+	//eclint:allow campaigndet — key collection, sorted below
+	for k := range scores {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += scores[k]
+	}
+	return sum
+}
+
+// allowedReduction: a commutative fold over a map is order-insensitive and
+// may be annotated instead of sorted.
+func allowedReduction(counts map[string]int) int {
+	total := 0
+	//eclint:allow campaigndet — commutative sum, order-insensitive
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+func sliceOrder(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs { // slices iterate in index order: silent
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,14 @@
+package directmem_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"easycrash/internal/analysis/analysistest"
+	"easycrash/internal/analysis/directmem"
+)
+
+func TestDirectmem(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "kernel")
+	analysistest.Run(t, dir, "easycrash/internal/apps/fixture", directmem.Analyzer)
+}

@@ -1,0 +1,40 @@
+// Package kernel is the directmem fixture: raw image access on a compute
+// path must be reported, in-band access and annotated recovery paths must
+// stay silent.
+package kernel
+
+import (
+	"bytes"
+
+	"easycrash/internal/mem"
+)
+
+func rawReads(im *mem.Image) float64 {
+	_ = im.Bytes(0, 8)     // want `\(\*mem\.Image\)\.Bytes bypasses the simulated cache hierarchy`
+	_ = im.Int64At(16)     // want `\(\*mem\.Image\)\.Int64At bypasses`
+	return im.Float64At(0) // want `\(\*mem\.Image\)\.Float64At bypasses`
+}
+
+func rawWrites(im *mem.Image) {
+	im.RawWrite(0, []byte{1}) // want `\(\*mem\.Image\)\.RawWrite bypasses`
+	im.SetFloat64At(8, 1.5)   // want `\(\*mem\.Image\)\.SetFloat64At bypasses`
+	im.SetInt64At(16, 2)      // want `\(\*mem\.Image\)\.SetInt64At bypasses`
+}
+
+func annotatedRecovery(im *mem.Image) float64 {
+	//eclint:allow directmem — postmortem read of the durable image
+	v := im.Float64At(0)
+	im.RawWrite(0, nil) //eclint:allow directmem — out-of-band checkpoint reload
+	return v
+}
+
+func inBand(im *mem.Image) {
+	var b [mem.BlockSize]byte
+	im.ReadBlock(0, b[:])
+	im.WriteBlock(0, b[:])
+	_ = im.Size()
+	_ = im.Snapshot()
+}
+
+// otherBytes must not be confused with (*mem.Image).Bytes.
+func otherBytes(buf *bytes.Buffer) []byte { return buf.Bytes() }

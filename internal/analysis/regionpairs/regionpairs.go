@@ -1,0 +1,470 @@
+// Package regionpairs checks that the sim.Machine instrumentation markers —
+// BeginRegion/EndRegion, BeginIteration/EndIteration and
+// MainLoopBegin/MainLoopEnd — pair up on every structured control-flow path
+// through a function: early returns, divergent if/switch branches, and loop
+// bodies that would leave a marker open for the next iteration.
+//
+// An unbalanced marker is silent data corruption for the whole methodology:
+// a region left open misattributes every subsequent access to the wrong a_k
+// weight (Equation 1) and skips the Persister.RegionEnd flush the policy
+// promised, so campaigns measure a policy that was never actually run.
+//
+// The walker understands the repo's two sanctioned escape hatches:
+//
+//   - `defer m.MainLoopEnd()` (or a deferred EndRegion/EndIteration) closes
+//     its marker on every exit, including crash panics unwinding through the
+//     kernel — the paper's crash delivery mechanism;
+//   - an explicit m.MainLoopEnd() call closes the main loop AND abandons any
+//     open region/iteration, because the real implementation resets the
+//     region state — this is the documented abort idiom kernels use when
+//     corrupted state interrupts a restarted run (response S3).
+//
+// Explicit panic(...) calls terminate a path without balance checks: the
+// machine is discarded by the campaign driver, exactly like a simulated
+// crash. A function that only closes markers (a helper ending a region its
+// caller opened) is not reported: underflow is only an error in functions
+// that also open the same kind of marker.
+package regionpairs
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"easycrash/internal/analysis"
+)
+
+// simPath is the import path of the machine the markers live on.
+const simPath = "easycrash/internal/sim"
+
+// Analyzer is the regionpairs check.
+var Analyzer = &analysis.Analyzer{
+	Name: "regionpairs",
+	Doc:  "checks BeginRegion/EndRegion, BeginIteration/EndIteration and MainLoopBegin/MainLoopEnd pairing on every control-flow path",
+	Run:  run,
+}
+
+type kind int
+
+const (
+	kRegion kind = iota
+	kIter
+	kMain
+	nKinds
+)
+
+var kindName = [nKinds]struct{ begin, end string }{
+	kRegion: {"BeginRegion", "EndRegion"},
+	kIter:   {"BeginIteration", "EndIteration"},
+	kMain:   {"MainLoopBegin", "MainLoopEnd"},
+}
+
+// opening is one unmatched Begin call on the current path.
+type opening struct {
+	pos token.Pos
+	k   kind
+	arg int64 // constant argument, valid when hasArg
+	has bool
+}
+
+func (o opening) String() string {
+	if o.has {
+		return fmt.Sprintf("%s(%d)", kindName[o.k].begin, o.arg)
+	}
+	return kindName[o.k].begin
+}
+
+// state is the abstract path state: per-kind stacks of unmatched openings
+// plus per-kind counts of deferred End calls (which close at any exit).
+type state struct {
+	open     [nKinds][]opening
+	deferred [nKinds]int
+	dead     bool // path has returned, panicked or branched away
+}
+
+func (s *state) clone() *state {
+	c := &state{deferred: s.deferred, dead: s.dead}
+	for k := range s.open {
+		c.open[k] = append([]opening(nil), s.open[k]...)
+	}
+	return c
+}
+
+// breakable is an enclosing statement a break (and for loops, a continue)
+// can target; it collects the path states arriving at those jumps.
+type breakable struct {
+	isLoop    bool
+	breaks    []*state
+	continues []*state
+}
+
+type walker struct {
+	pass     *analysis.Pass
+	begins   [nKinds]bool       // does this function open markers of kind k?
+	reported map[token.Pos]bool // one report per opening / site
+	ctx      []*breakable       // innermost-last stack of break targets
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				analyzeBody(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func analyzeBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	w := &walker{pass: pass, reported: map[token.Pos]bool{}}
+	// Pre-scan: which marker kinds does this function open itself? End
+	// calls of a kind never opened here close a caller's marker — that is a
+	// helper, not an imbalance.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested functions are analyzed on their own
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if k, begin, ok := w.classify(call); ok && begin {
+				w.begins[k] = true
+			}
+		}
+		return true
+	})
+	st := &state{}
+	w.walkStmt(st, body)
+	if !st.dead {
+		w.checkExit(st, body.Rbrace, "end of function")
+	}
+}
+
+// classify resolves call to a marker method on sim.Machine.
+func (w *walker) classify(call *ast.CallExpr) (k kind, begin bool, ok bool) {
+	fn := analysis.CalleeFunc(w.pass.Info, call)
+	if fn == nil {
+		return 0, false, false
+	}
+	if pkg, typ, isM := analysis.RecvNamed(fn); !isM || pkg != simPath || typ != "Machine" {
+		return 0, false, false
+	}
+	for k := kind(0); k < nKinds; k++ {
+		switch fn.Name() {
+		case kindName[k].begin:
+			return k, true, true
+		case kindName[k].end:
+			return k, false, true
+		}
+	}
+	return 0, false, false
+}
+
+func (w *walker) reportOnce(pos token.Pos, format string, args ...any) {
+	if !w.reported[pos] {
+		w.reported[pos] = true
+		w.pass.Reportf(pos, format, args...)
+	}
+}
+
+func (w *walker) line(pos token.Pos) int { return w.pass.Fset.Position(pos).Line }
+
+// constArg extracts the constant int value of the call's first argument.
+func (w *walker) constArg(call *ast.CallExpr) (int64, bool) {
+	if len(call.Args) == 0 {
+		return 0, false
+	}
+	tv, ok := w.pass.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// walkStmt interprets s over st. It only tracks marker calls appearing as
+// statements (the only way kernels use them); calls buried in expressions
+// are out of scope.
+func (w *walker) walkStmt(st *state, s ast.Stmt) {
+	if st.dead {
+		return
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, sub := range s.List {
+			w.walkStmt(st, sub)
+			if st.dead {
+				return
+			}
+		}
+
+	case *ast.ExprStmt:
+		w.handleCall(st, s.X)
+
+	case *ast.DeferStmt:
+		if k, begin, ok := w.classify(s.Call); ok && !begin {
+			st.deferred[k]++
+		}
+
+	case *ast.ReturnStmt:
+		w.checkExit(st, s.Pos(), "return")
+		st.dead = true
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(st, s.Init)
+		}
+		then := st.clone()
+		w.walkStmt(then, s.Body)
+		alt := st.clone()
+		if s.Else != nil {
+			w.walkStmt(alt, s.Else)
+		}
+		*st = *w.merge(s.Pos(), then, alt)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(st, s.Init)
+		}
+		w.walkLoop(st, s.Pos(), s.Body, s.Post)
+
+	case *ast.RangeStmt:
+		w.walkLoop(st, s.Pos(), s.Body, nil)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(st, s.Init)
+		}
+		w.walkBranches(st, s.Pos(), s.Body, false)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(st, s.Init)
+		}
+		w.walkBranches(st, s.Pos(), s.Body, false)
+
+	case *ast.SelectStmt:
+		w.walkBranches(st, s.Pos(), s.Body, true)
+
+	case *ast.LabeledStmt:
+		w.walkStmt(st, s.Stmt)
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.CONTINUE:
+			for i := len(w.ctx) - 1; i >= 0; i-- {
+				if w.ctx[i].isLoop {
+					w.ctx[i].continues = append(w.ctx[i].continues, st.clone())
+					break
+				}
+			}
+		case token.BREAK:
+			if len(w.ctx) > 0 {
+				last := w.ctx[len(w.ctx)-1]
+				last.breaks = append(last.breaks, st.clone())
+			}
+		}
+		// In every case (incl. goto) the structured path ends here.
+		st.dead = true
+	}
+}
+
+// walkLoop interprets a for/range body: the state at every back-edge (body
+// end and each continue) and every break must match the loop entry, so no
+// marker leaks into the next iteration or out of the loop.
+func (w *walker) walkLoop(st *state, pos token.Pos, body *ast.BlockStmt, post ast.Stmt) {
+	ctx := &breakable{isLoop: true}
+	w.ctx = append(w.ctx, ctx)
+	b := st.clone()
+	w.walkStmt(b, body)
+	if post != nil && !b.dead {
+		w.walkStmt(b, post)
+	}
+	w.ctx = w.ctx[:len(w.ctx)-1]
+
+	backs := ctx.continues
+	if !b.dead {
+		backs = append(backs, b)
+	}
+	for _, back := range backs {
+		w.checkLoopBalance(st, back, pos, "the next iteration begins")
+	}
+	for _, brk := range ctx.breaks {
+		w.checkLoopBalance(st, brk, pos, "break exits the loop")
+	}
+	// Continue after the loop with the entry state (net-zero enforced).
+}
+
+// walkBranches handles switch/select clause bodies as parallel branches. A
+// break inside a clause targets the switch and becomes one of its exits.
+func (w *walker) walkBranches(st *state, pos token.Pos, body *ast.BlockStmt, always bool) {
+	ctx := &breakable{}
+	w.ctx = append(w.ctx, ctx)
+	var branches []*state
+	hasDefault := false
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			stmts = c.Body
+			hasDefault = hasDefault || c.List == nil
+		case *ast.CommClause:
+			stmts = c.Body
+			hasDefault = hasDefault || c.Comm == nil
+		}
+		b := st.clone()
+		for _, sub := range stmts {
+			w.walkStmt(b, sub)
+			if b.dead {
+				break
+			}
+		}
+		branches = append(branches, b)
+	}
+	w.ctx = w.ctx[:len(w.ctx)-1]
+	branches = append(branches, ctx.breaks...)
+	if !hasDefault && !always {
+		branches = append(branches, st.clone()) // no-case-matched path
+	}
+	m := (*state)(nil)
+	for _, b := range branches {
+		if m == nil {
+			m = b
+		} else {
+			m = w.merge(pos, m, b)
+		}
+	}
+	if m == nil {
+		return
+	}
+	*st = *m
+}
+
+// handleCall interprets a statement-level expression.
+func (w *walker) handleCall(st *state, x ast.Expr) {
+	call, ok := ast.Unparen(x).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	// panic(...) delivers control to the campaign driver, which discards
+	// the machine — crash semantics, no balance requirement.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, isB := w.pass.Info.Uses[id].(*types.Builtin); isB && b.Name() == "panic" {
+			st.dead = true
+			return
+		}
+	}
+	k, begin, ok := w.classify(call)
+	if !ok {
+		return
+	}
+	if begin {
+		o := opening{pos: call.Pos(), k: k}
+		o.arg, o.has = w.constArg(call)
+		st.open[k] = append(st.open[k], o)
+		return
+	}
+	// End call.
+	if len(st.open[k]) == 0 {
+		if w.begins[k] {
+			w.reportOnce(call.Pos(), "%s without a matching %s on this path",
+				kindName[k].end, kindName[k].begin)
+		}
+		return
+	}
+	top := st.open[k][len(st.open[k])-1]
+	st.open[k] = st.open[k][:len(st.open[k])-1]
+	if k == kRegion && top.has {
+		if arg, has := w.constArg(call); has && arg != top.arg {
+			w.reportOnce(call.Pos(), "EndRegion(%d) closes %s opened at line %d",
+				arg, top, w.line(top.pos))
+		}
+	}
+	if k == kMain {
+		// The real MainLoopEnd resets the region state: an explicit call is
+		// the abort idiom and legitimately abandons open regions/iterations.
+		st.open[kRegion] = st.open[kRegion][:0]
+		st.open[kIter] = st.open[kIter][:0]
+	}
+}
+
+// checkExit verifies that everything open is covered by deferred End calls.
+func (w *walker) checkExit(st *state, pos token.Pos, what string) {
+	for k := kind(0); k < nKinds; k++ {
+		open := st.open[k]
+		covered := st.deferred[k]
+		if covered > len(open) {
+			covered = len(open)
+		}
+		for _, o := range open[:len(open)-covered] {
+			w.reportOnce(o.pos, "%s is never closed on the path reaching the %s at line %d (defer the %s call or close it on every path)",
+				o, what, w.line(pos), kindName[k].end)
+		}
+	}
+}
+
+// checkLoopBalance verifies one loop exit or back-edge state got leaves the
+// marker stacks exactly as the loop entry had them.
+func (w *walker) checkLoopBalance(entry, got *state, pos token.Pos, when string) {
+	for k := kind(0); k < nKinds; k++ {
+		en, gn := len(entry.open[k]), len(got.open[k])
+		switch {
+		case gn > en:
+			for _, o := range got.open[k][en:] {
+				w.reportOnce(o.pos, "%s opened in a loop body is not closed within the body before %s",
+					o, when)
+			}
+		case gn < en:
+			w.reportOnce(pos, "loop body closes %s markers opened outside the loop",
+				kindName[k].end)
+		}
+	}
+}
+
+// merge joins two branch states.
+func (w *walker) merge(pos token.Pos, a, b *state) *state {
+	switch {
+	case a.dead && b.dead:
+		a.dead = true
+		return a
+	case a.dead:
+		return b
+	case b.dead:
+		return a
+	}
+	out := a.clone()
+	for k := kind(0); k < nKinds; k++ {
+		an, bn := len(a.open[k]), len(b.open[k])
+		if an != bn {
+			deeper := a
+			if bn > an {
+				deeper = b
+			}
+			min := an
+			if bn < min {
+				min = bn
+			}
+			for _, o := range deeper.open[k][min:] {
+				w.reportOnce(o.pos, "%s is closed on some paths but not others (branches rejoin at line %d)",
+					o, w.line(pos))
+			}
+			// Adopt the deeper stack so the matching End later on does not
+			// also report an underflow.
+			out.open[k] = append([]opening(nil), deeper.open[k]...)
+		}
+		if b.deferred[k] > out.deferred[k] {
+			out.deferred[k] = b.deferred[k]
+		}
+	}
+	return out
+}

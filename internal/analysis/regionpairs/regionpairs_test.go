@@ -1,0 +1,14 @@
+package regionpairs_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"easycrash/internal/analysis/analysistest"
+	"easycrash/internal/analysis/regionpairs"
+)
+
+func TestRegionPairs(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "kernel")
+	analysistest.Run(t, dir, "easycrash/internal/apps/fixture", regionpairs.Analyzer)
+}

@@ -1,0 +1,152 @@
+// Package kernel is the regionpairs fixture: every sanctioned pairing idiom
+// from the real kernels must stay silent, and each class of imbalance must
+// be reported.
+package kernel
+
+import (
+	"errors"
+
+	"easycrash/internal/sim"
+)
+
+var errCorrupt = errors.New("corrupted state")
+
+// wellFormed is the canonical kernel main loop: deferred MainLoopEnd,
+// balanced regions, a conditional region balanced in both arms.
+func wellFormed(m *sim.Machine, n int) {
+	m.MainLoopBegin()
+	defer m.MainLoopEnd()
+	for it := 0; it < n; it++ {
+		m.BeginIteration(int64(it))
+		m.BeginRegion(0)
+		m.EndRegion(0)
+		if n > 3 {
+			m.BeginRegion(1)
+			m.EndRegion(1)
+		} else {
+			m.BeginRegion(1)
+			m.EndRegion(1)
+		}
+		m.EndIteration(int64(it))
+	}
+}
+
+// abortIdiom is the sanctioned early-out: an explicit MainLoopEnd resets the
+// region state before returning ErrInterrupted (response S3).
+func abortIdiom(m *sim.Machine, bad bool) error {
+	m.MainLoopBegin()
+	defer m.MainLoopEnd()
+	m.BeginIteration(0)
+	m.BeginRegion(0)
+	if bad {
+		m.MainLoopEnd()
+		return errCorrupt
+	}
+	m.EndRegion(0)
+	m.EndIteration(0)
+	return nil
+}
+
+// deferredRegion closes its region on every exit, including crash panics.
+func deferredRegion(m *sim.Machine, bad bool) {
+	m.BeginRegion(2)
+	defer m.EndRegion(2)
+	if bad {
+		return
+	}
+}
+
+// panicPath: an explicit panic hands the machine to the campaign driver,
+// which discards it — no balance requirement.
+func panicPath(m *sim.Machine, bad bool) {
+	m.MainLoopBegin()
+	m.BeginRegion(0)
+	if bad {
+		panic(errCorrupt)
+	}
+	m.EndRegion(0)
+	m.MainLoopEnd()
+}
+
+// closeHelper only closes a marker its caller opened; underflow is not an
+// error in a function that never opens that marker kind itself.
+func closeHelper(m *sim.Machine) {
+	m.EndRegion(3)
+}
+
+// switchBalanced: all switch arms (and the implicit no-match path) agree.
+func switchBalanced(m *sim.Machine, mode int) {
+	switch mode {
+	case 0:
+		m.BeginRegion(0)
+		m.EndRegion(0)
+	default:
+		m.BeginRegion(1)
+		m.EndRegion(1)
+	}
+}
+
+// earlyReturn leaks region 0 on the bad path.
+func earlyReturn(m *sim.Machine, bad bool) error {
+	m.MainLoopBegin()
+	defer m.MainLoopEnd()
+	m.BeginIteration(0) // want `BeginIteration\(0\) is never closed on the path reaching the return`
+	m.BeginRegion(0)    // want `BeginRegion\(0\) is never closed on the path reaching the return`
+	if bad {
+		return errCorrupt
+	}
+	m.EndRegion(0)
+	m.EndIteration(0)
+	return nil
+}
+
+// loopLeak opens a region every iteration without closing it.
+func loopLeak(m *sim.Machine, n int) {
+	m.MainLoopBegin()
+	for i := 0; i < n; i++ {
+		m.BeginRegion(0) // want `BeginRegion\(0\) opened in a loop body is not closed within the body`
+	}
+	m.MainLoopEnd()
+}
+
+// branchLeak opens a region in only one arm of a conditional.
+func branchLeak(m *sim.Machine, c bool) {
+	m.MainLoopBegin()
+	if c {
+		m.BeginRegion(0) // want `BeginRegion\(0\) is closed on some paths but not others`
+	}
+	m.MainLoopEnd()
+}
+
+// mismatch closes a different region than it opened.
+func mismatch(m *sim.Machine) {
+	m.BeginRegion(1)
+	m.EndRegion(2) // want `EndRegion\(2\) closes BeginRegion\(1\) opened at line`
+}
+
+// underflow calls EndRegion twice in a function that opens regions itself.
+func underflow(m *sim.Machine) {
+	m.BeginRegion(0)
+	m.EndRegion(0)
+	m.EndRegion(0) // want `EndRegion without a matching BeginRegion on this path`
+}
+
+// unclosedMain never ends the main loop.
+func unclosedMain(m *sim.Machine) {
+	m.MainLoopBegin() // want `MainLoopBegin is never closed on the path reaching the end of function`
+	m.BeginRegion(0)
+	m.EndRegion(0)
+}
+
+// iterLeak forgets EndIteration on the early-converged path.
+func iterLeak(m *sim.Machine, n int) {
+	m.MainLoopBegin()
+	defer m.MainLoopEnd()
+	for it := 0; it < n; it++ {
+		m.BeginIteration(int64(it)) // want `BeginIteration opened in a loop body is not closed within the body`
+		if it == n/2 {
+			continue
+		}
+		m.EndIteration(int64(it))
+	}
+}

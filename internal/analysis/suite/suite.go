@@ -1,0 +1,22 @@
+// Package suite enumerates the eclint analyzers. cmd/eclint and the smoke
+// tests share this list so a new analyzer registered here is automatically
+// enforced in CI.
+package suite
+
+import (
+	"easycrash/internal/analysis"
+	"easycrash/internal/analysis/addrstride"
+	"easycrash/internal/analysis/campaigndet"
+	"easycrash/internal/analysis/directmem"
+	"easycrash/internal/analysis/regionpairs"
+)
+
+// All returns every eclint analyzer, in output order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		addrstride.Analyzer,
+		campaigndet.Analyzer,
+		directmem.Analyzer,
+		regionpairs.Analyzer,
+	}
+}

@@ -1,0 +1,62 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"easycrash/internal/faultmodel"
+)
+
+// FaultFlags bundles the media-fault flags (-rber, -torn, -ecc and, for the
+// extended set, -ecc-detect, -scrub, -timeout) that cmd/nvct and
+// cmd/easycrash share, so both binaries register, validate and default them
+// identically.
+type FaultFlags struct {
+	RBER      float64
+	Torn      bool
+	ECC       int
+	ECCDetect int
+	Scrub     bool
+	Timeout   time.Duration
+
+	extended bool
+}
+
+// RegisterFaultFlags registers the shared media-fault flags on fs. With
+// extended, the campaign-runner extras (-ecc-detect, -scrub, -timeout) are
+// registered too; without it DetectBits is always derived as CorrectBits+1.
+func RegisterFaultFlags(fs *flag.FlagSet, extended bool) *FaultFlags {
+	f := &FaultFlags{extended: extended}
+	fs.Float64Var(&f.RBER, "rber", 0, "raw bit-error rate injected into the surviving image at each crash [0,1]")
+	fs.BoolVar(&f.Torn, "torn", false, "tear the in-flight block at crash time (8-byte old/new interleave)")
+	if extended {
+		fs.IntVar(&f.ECC, "ecc", 0, "per-block ECC correction capability in bits (0: ECC off)")
+		fs.IntVar(&f.ECCDetect, "ecc-detect", 0, "per-block ECC detection capability in bits (0 with -ecc > 0: correct+1)")
+		fs.BoolVar(&f.Scrub, "scrub", false, "scrub-and-fallback restart: re-initialise poisoned objects instead of aborting")
+		fs.DurationVar(&f.Timeout, "timeout", 0, "per-test deadline (0: none); an exceeded test is recorded as ERR")
+	} else {
+		fs.IntVar(&f.ECC, "ecc", 0, "per-block ECC correction capability in bits (detect = correct+1; 0: ECC off)")
+	}
+	return f
+}
+
+// Config validates the parsed flags and assembles the fault-model
+// configuration, defaulting DetectBits to CorrectBits+1 when only the
+// correction capability was given.
+func (f *FaultFlags) Config() (faultmodel.Config, error) {
+	if f.Timeout < 0 {
+		return faultmodel.Config{}, fmt.Errorf("cli: -timeout must be >= 0, got %v", f.Timeout)
+	}
+	cfg := faultmodel.Config{RBER: f.RBER, TornWrites: f.Torn}
+	if f.ECC > 0 || f.ECCDetect > 0 {
+		cfg.ECC = faultmodel.ECC{CorrectBits: f.ECC, DetectBits: f.ECCDetect}
+		if cfg.ECC.DetectBits == 0 {
+			cfg.ECC.DetectBits = cfg.ECC.CorrectBits + 1
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return faultmodel.Config{}, err
+	}
+	return cfg, nil
+}

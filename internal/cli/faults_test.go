@@ -1,0 +1,141 @@
+package cli_test
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"easycrash/internal/cli"
+	"easycrash/internal/faultmodel"
+)
+
+// parse registers the fault flags on a fresh FlagSet, parses args, and
+// builds the config.
+func parse(t *testing.T, extended bool, args ...string) (faultmodel.Config, error) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	f := cli.RegisterFaultFlags(fs, extended)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parsing %q: %v", args, err)
+	}
+	return f.Config()
+}
+
+func TestFaultFlags(t *testing.T) {
+	cases := []struct {
+		name     string
+		extended bool
+		args     []string
+		want     faultmodel.Config
+		wantErr  string
+	}{
+		{
+			name: "zero value injects nothing",
+			want: faultmodel.Config{},
+		},
+		{
+			name: "rber and torn pass through",
+			args: []string{"-rber", "1e-5", "-torn"},
+			want: faultmodel.Config{RBER: 1e-5, TornWrites: true},
+		},
+		{
+			name: "ecc defaults detect to correct+1",
+			args: []string{"-ecc", "2"},
+			want: faultmodel.Config{ECC: faultmodel.ECC{CorrectBits: 2, DetectBits: 3}},
+		},
+		{
+			name:     "explicit detect capability",
+			extended: true,
+			args:     []string{"-ecc", "1", "-ecc-detect", "4"},
+			want:     faultmodel.Config{ECC: faultmodel.ECC{CorrectBits: 1, DetectBits: 4}},
+		},
+		{
+			name:     "detect-only ECC poisons without correcting",
+			extended: true,
+			args:     []string{"-ecc-detect", "2"},
+			want:     faultmodel.Config{ECC: faultmodel.ECC{DetectBits: 2}},
+		},
+		{
+			name:     "timeout is not part of the fault model",
+			extended: true,
+			args:     []string{"-timeout", "30s", "-scrub"},
+			want:     faultmodel.Config{},
+		},
+		{
+			name:    "rber above one rejected",
+			args:    []string{"-rber", "1.5"},
+			wantErr: "outside [0,1]",
+		},
+		{
+			name:    "negative rber rejected",
+			args:    []string{"-rber", "-0.1"},
+			wantErr: "outside [0,1]",
+		},
+		{
+			name:     "detect below correct rejected",
+			extended: true,
+			args:     []string{"-ecc", "3", "-ecc-detect", "2"},
+			wantErr:  "detects 2 bits but corrects 3",
+		},
+		{
+			name:     "negative timeout rejected",
+			extended: true,
+			args:     []string{"-timeout", "-1s"},
+			wantErr:  "-timeout must be >= 0",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := parse(t, tc.extended, tc.args...)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("want error containing %q, got %v", tc.wantErr, err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if got != tc.want {
+				t.Errorf("config = %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestExtendedOnlyFlags checks the extras exist only in the extended set.
+func TestExtendedOnlyFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	cli.RegisterFaultFlags(fs, false)
+	for _, name := range []string{"ecc-detect", "scrub", "timeout"} {
+		if fs.Lookup(name) != nil {
+			t.Errorf("basic flag set unexpectedly registers -%s", name)
+		}
+	}
+	for _, name := range []string{"rber", "torn", "ecc"} {
+		if fs.Lookup(name) == nil {
+			t.Errorf("basic flag set missing -%s", name)
+		}
+	}
+}
+
+// TestFlagFieldsBound checks parsed values land in the exported fields the
+// commands read (Scrub, Timeout).
+func TestFlagFieldsBound(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	f := cli.RegisterFaultFlags(fs, true)
+	if err := fs.Parse([]string{"-scrub", "-timeout", "45s"}); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Scrub {
+		t.Error("Scrub not bound to -scrub")
+	}
+	if f.Timeout != 45*time.Second {
+		t.Errorf("Timeout = %v, want 45s", f.Timeout)
+	}
+}

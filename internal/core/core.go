@@ -275,6 +275,7 @@ func SelectObjectsWith(baseline *nvct.Report, pThreshold float64, method string)
 	}
 	vectors := baseline.InconsistencyVectors()
 	names := make([]string, 0, len(vectors))
+	//eclint:allow campaigndet — key collection, sorted below
 	for name := range vectors {
 		names = append(names, name)
 	}
@@ -320,6 +321,7 @@ func SelectRegions(golden nvct.Golden, baseline, everywhere *nvct.Report, critic
 
 	// a_k from the golden run's access attribution.
 	var totalAcc uint64
+	//eclint:allow campaigndet — commutative integer sum, order-insensitive
 	for _, n := range golden.RegionAccesses {
 		totalAcc += n
 	}

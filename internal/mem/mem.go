@@ -146,31 +146,56 @@ func (im *Image) ResetWriteCounters() { im.blockWrites, im.bytesWritten = 0, 0 }
 // Bytes returns the raw image contents for the half-open range [addr, addr+n).
 // The returned slice aliases the image; callers must not hold it across
 // mutations they do not intend to observe.
+//
+// Bytes bypasses the cache hierarchy — simulation-accuracy hazard: it sees
+// only durable state, never dirty cached lines, and is invisible to crash
+// delivery and write accounting. Kernels must route accesses through
+// sim.Machine; only out-of-band recovery, validation and test code may read
+// raw, under an //eclint:allow directmem annotation.
 func (im *Image) Bytes(addr, n uint64) []byte { return im.data[addr : addr+n] }
 
 // RawWrite copies bytes into the image without counting NVM writes. It models
 // out-of-band restoration (e.g. reloading a checkpoint from SSD) and test
 // setup, not in-band store traffic.
+//
+// RawWrite bypasses the cache hierarchy — simulation-accuracy hazard: the
+// bytes land in durable state without dirtying or invalidating cached lines,
+// so a kernel using it desynchronises cache and media. eclint (directmem)
+// rejects unannotated calls.
 func (im *Image) RawWrite(addr uint64, src []byte) { copy(im.data[addr:], src) }
 
-// Float64At reads a float64 stored at addr directly from the image,
-// bypassing any cache. It reflects only the durable state.
+// Float64At reads a float64 stored at addr directly from the image.
+//
+// Float64At bypasses the cache hierarchy — simulation-accuracy hazard: it
+// reflects only durable state and ignores newer values still cached. In-band
+// code must use Machine.LoadF64; eclint (directmem) rejects unannotated
+// calls.
 func (im *Image) Float64At(addr uint64) float64 {
 	return math.Float64frombits(binary.LittleEndian.Uint64(im.data[addr : addr+8]))
 }
 
 // SetFloat64At writes a float64 directly into the image without counting an
 // NVM write (out-of-band restoration path).
+//
+// SetFloat64At bypasses the cache hierarchy — simulation-accuracy hazard:
+// stale cached lines keep shadowing the written value. In-band code must use
+// Machine.StoreF64; eclint (directmem) rejects unannotated calls.
 func (im *Image) SetFloat64At(addr uint64, v float64) {
 	binary.LittleEndian.PutUint64(im.data[addr:addr+8], math.Float64bits(v))
 }
 
 // Int64At reads an int64 stored at addr directly from the image.
+//
+// Int64At bypasses the cache hierarchy — simulation-accuracy hazard: see
+// Float64At; the in-band path is Machine.LoadI64.
 func (im *Image) Int64At(addr uint64) int64 {
 	return int64(binary.LittleEndian.Uint64(im.data[addr : addr+8]))
 }
 
 // SetInt64At writes an int64 directly into the image without counting a write.
+//
+// SetInt64At bypasses the cache hierarchy — simulation-accuracy hazard: see
+// SetFloat64At; the in-band path is Machine.StoreI64.
 func (im *Image) SetInt64At(addr uint64, v int64) {
 	binary.LittleEndian.PutUint64(im.data[addr:addr+8], uint64(v))
 }
@@ -184,12 +209,15 @@ func (im *Image) Snapshot() []byte {
 }
 
 // Restore overwrites the image contents from a snapshot previously produced
-// by Snapshot. Write counters are unaffected.
+// by Snapshot and heals all poisoned blocks: a restore models reprovisioning
+// the medium from a known-good copy, after which no block is
+// detected-uncorrectable. Write counters are unaffected.
 func (im *Image) Restore(snap []byte) {
 	if len(snap) != len(im.data) {
 		panic(fmt.Sprintf("mem: restore snapshot size %d != image size %d", len(snap), len(im.data)))
 	}
 	copy(im.data, snap)
+	im.poisoned = nil
 }
 
 // Object describes one application data object placed in simulated NVM.

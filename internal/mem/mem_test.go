@@ -99,6 +99,20 @@ func TestSnapshotRestore(t *testing.T) {
 	}
 }
 
+func TestRestoreClearsPoison(t *testing.T) {
+	im := NewImage(4 * BlockSize)
+	snap := im.Snapshot()
+	im.PoisonBlock(0)
+	im.PoisonBlock(2 * BlockSize)
+	if !im.Poisoned(0) || len(im.PoisonedBlocks()) != 2 {
+		t.Fatal("poison not recorded")
+	}
+	im.Restore(snap)
+	if im.Poisoned(0) || im.Poisoned(2*BlockSize) || im.PoisonedBlocks() != nil {
+		t.Fatalf("restore left poison: %v", im.PoisonedBlocks())
+	}
+}
+
 func TestRestoreSizeMismatchPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

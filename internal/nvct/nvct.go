@@ -294,6 +294,7 @@ func (r *Report) RegionRecomputability() (rec map[int]float64, tests map[int]int
 		}
 	}
 	rec = make(map[int]float64, len(tests))
+	//eclint:allow campaigndet — independent per-key map fill, order-insensitive
 	for k, n := range tests {
 		rec[k] = float64(s1[k]) / float64(n)
 	}
@@ -327,6 +328,7 @@ func (r *Report) MediaErrorCounts() (due, silentCaught, silentMissed int) {
 func (r *Report) InconsistencyVectors() map[string][2][]float64 {
 	out := make(map[string][2][]float64)
 	for _, t := range r.Tests {
+		//eclint:allow campaigndet — one append per name per test; each vector's order follows Tests order
 		for name, rate := range t.Inconsistency {
 			v := out[name]
 			v[0] = append(v[0], rate)
@@ -621,6 +623,7 @@ func (t *Tester) RunCampaignContext(ctx context.Context, policy *Policy, opts Ca
 func (t *Tester) runOneIsolated(ctx context.Context, policy *Policy, crashAt uint64, faultSeed int64, opts CampaignOpts) (res TestResult, keep bool) {
 	var deadline time.Time
 	if opts.TestTimeout > 0 {
+		//eclint:allow campaigndet — operator watchdog for runaway tests, not part of replayed state
 		deadline = time.Now().Add(opts.TestTimeout)
 	}
 	defer func() {
@@ -657,6 +660,7 @@ func setInterrupt(ctx context.Context, m *sim.Machine, deadline time.Time) {
 			return ctx.Err()
 		default:
 		}
+		//eclint:allow campaigndet — deadline check for the same operator watchdog
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			return errTestTimeout
 		}
