@@ -674,11 +674,44 @@ func BenchmarkCacheAccess(b *testing.B) {
 	im := mem.NewImage(1 << 22)
 	h := cachesim.New(cachesim.TestConfig(), im)
 	buf := make([]byte, 8)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a := uint64(i*64) % (1 << 21)
 		h.Store(0, a, buf)
 		h.Load(0, a, buf)
+	}
+}
+
+// BenchmarkCacheStream is the steady-state miss path campaigns live on: a
+// block-strided store stream over a working set far larger than the LLC, so
+// every access is a fill plus an eviction write-back. This path must stay
+// allocation-free.
+func BenchmarkCacheStream(b *testing.B) {
+	im := mem.NewImage(1 << 22)
+	h := cachesim.New(cachesim.TestConfig(), im)
+	buf := make([]byte, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Store(0, uint64(i*64)%(1<<22), buf)
+	}
+}
+
+// BenchmarkCacheCrashRefill is the per-crash-test pattern: dirty a working
+// set, crash (DropAll), repeat. DropAll must recycle the block store, not
+// reallocate it.
+func BenchmarkCacheCrashRefill(b *testing.B) {
+	im := mem.NewImage(1 << 22)
+	h := cachesim.New(cachesim.TestConfig(), im)
+	buf := make([]byte, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 2048; j++ {
+			h.Store(0, uint64(j*64), buf)
+		}
+		h.DropAll()
 	}
 }
 
@@ -689,6 +722,7 @@ func BenchmarkCacheFlush(b *testing.B) {
 	for i := 0; i < 1024; i++ {
 		h.Store(0, uint64(i*64), buf)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Flush(0, 64<<10, cachesim.CLWB)
@@ -699,11 +733,28 @@ func BenchmarkMachineTypedAccess(b *testing.B) {
 	m := sim.NewMachine(1<<22, cachesim.TestConfig())
 	o := m.Space().AllocF64("x", 1<<15, true)
 	v := m.F64(o)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		idx := i & (1<<15 - 1)
 		v.Set(idx, float64(i))
 		_ = v.At(idx)
+	}
+}
+
+// BenchmarkMachineReset measures the per-test machine recycling path the
+// campaign engine uses instead of sim.NewMachine.
+func BenchmarkMachineReset(b *testing.B) {
+	m := sim.NewMachine(1<<22, cachesim.TestConfig())
+	buf := make([]byte, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := m.Space().AllocF64("x", 1<<12, true)
+		m.MainLoopBegin()
+		m.Hierarchy().Store(0, o.Addr, buf)
+		m.MainLoopEnd()
+		m.Reset()
 	}
 }
 
@@ -729,6 +780,7 @@ func BenchmarkGoldenRun(b *testing.B) {
 
 func BenchmarkCampaignTest(b *testing.B) {
 	t := lab.tester(b, "lu")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t.RunCampaign(nil, nvct.CampaignOpts{Tests: 1, Seed: int64(i)})

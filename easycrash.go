@@ -87,6 +87,11 @@ const (
 	SErr = nvct.SErr // the test itself errored (panic or per-test timeout)
 )
 
+// ErrEmptyCrashSpace reports a campaign whose crash-point space is empty —
+// the kernel's main loop issued zero crash-eligible accesses, so no crash
+// point can be drawn. Test with errors.Is.
+var ErrEmptyCrashSpace = nvct.ErrEmptyCrashSpace
+
 // FaultConfig describes the NVM media-fault model applied at each simulated
 // crash: torn writes at the 8-byte atomic-write granularity, raw bit errors
 // at a configurable rate, and per-block ECC. The zero value is the paper's

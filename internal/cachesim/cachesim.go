@@ -13,7 +13,10 @@
 // invalidation-based (MSI-style) protocol.
 package cachesim
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // BlockSize is the cache block size in bytes (64, as simulated in the paper).
 const BlockSize = 64
@@ -207,6 +210,10 @@ type cache struct {
 	rng     uint64 // xorshift state for Random replacement
 }
 
+// rngSeed seeds each tag array's xorshift state for Random replacement; a
+// fixed seed keeps the policy deterministic and lets Reset restore it.
+const rngSeed = 0x2545F4914F6CDD1D
+
 func newCache(lc LevelConfig, replace Replacement) *cache {
 	n := lc.Sets()
 	return &cache{
@@ -216,7 +223,7 @@ func newCache(lc LevelConfig, replace Replacement) *cache {
 		state:   make([]uint8, n*lc.Ways),
 		lru:     make([]uint64, n*lc.Ways),
 		replace: replace,
-		rng:     0x2545F4914F6CDD1D,
+		rng:     rngSeed,
 	}
 }
 
@@ -284,21 +291,49 @@ func (c *cache) countValid() (valid, dirty int) {
 }
 
 // Hierarchy is a coherent, inclusive cache hierarchy carrying data values.
+//
+// Block values live in a flat, direct-indexed store: one contiguous arena
+// with as many slots as the LLC has lines (residency is LLC-bounded by
+// inclusion), plus a block-number-indexed slot table sized from the backing
+// extent. The steady-state access path therefore performs no allocation —
+// a fill pops a free arena slot, an eviction pushes it back — and residency
+// is a single array read instead of a map lookup.
 type Hierarchy struct {
 	cfg     Config
 	nlev    int
 	npriv   int        // nlev-1
 	priv    [][]*cache // [core][level 0..npriv-1]
 	llc     *cache
-	data    map[uint64]*[BlockSize]byte // resident block values (LLC-inclusive)
 	backing Backing
-	tick    uint64
-	stats   Stats
-	tmp     [BlockSize]byte
+
+	// Flat block store (replaces the historical map[uint64]*block):
+	// slots[blk] is the arena slot of blk's value, or -1 when not resident;
+	// the arena holds llcLines fixed slots and freeSlots is the stack of
+	// unused ones.
+	slots     []int32
+	arena     []byte
+	freeSlots []int32
+	llcLines  int
+	scratch   []uint64 // reused by WriteBackAll / ResidentBlocks
+
+	// poisoned reports detected-uncorrectable backing blocks (resolved from
+	// the backing at construction; nil when the backing cannot poison).
+	// The postmortem helpers use it to treat lost media bytes as
+	// inconsistent instead of tripping the backing's media-error panic.
+	poisoned func(addr uint64) bool
+
+	tick  uint64
+	stats Stats
+	tmp   [BlockSize]byte
 }
 
 // New creates a hierarchy over backing memory. It panics on invalid
 // configuration (a programming error).
+//
+// When the backing exposes its capacity (a Size() uint64 method, as
+// mem.Image does), the block-slot table is sized once up front; otherwise it
+// grows on demand. A backing exposing Poisoned(addr uint64) bool enables the
+// poison-aware postmortem paths of ArchValue and DirtyBytesIn.
 func New(cfg Config, backing Backing) *Hierarchy {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
@@ -307,7 +342,6 @@ func New(cfg Config, backing Backing) *Hierarchy {
 		cfg:     cfg,
 		nlev:    len(cfg.Levels),
 		npriv:   len(cfg.Levels) - 1,
-		data:    make(map[uint64]*[BlockSize]byte),
 		backing: backing,
 	}
 	h.priv = make([][]*cache, cfg.Cores)
@@ -320,7 +354,87 @@ func New(cfg Config, backing Backing) *Hierarchy {
 	h.llc = newCache(cfg.Levels[h.nlev-1], cfg.Replace)
 	h.stats.Hits = make([]uint64, h.nlev)
 	h.stats.Misses = make([]uint64, h.nlev)
+
+	h.llcLines = int(h.llc.nsets) * h.llc.ways
+	h.arena = make([]byte, h.llcLines*BlockSize)
+	h.freeSlots = make([]int32, 0, h.llcLines)
+	h.resetFreeSlots()
+	if s, ok := backing.(interface{ Size() uint64 }); ok {
+		h.growSlots(s.Size() >> blockShift)
+	}
+	if p, ok := backing.(interface{ Poisoned(addr uint64) bool }); ok {
+		h.poisoned = p.Poisoned
+	}
 	return h
+}
+
+// resetFreeSlots rebuilds the free stack so slots are handed out in
+// ascending arena order, exactly as on a fresh hierarchy.
+func (h *Hierarchy) resetFreeSlots() {
+	h.freeSlots = h.freeSlots[:0]
+	for i := h.llcLines - 1; i >= 0; i-- {
+		h.freeSlots = append(h.freeSlots, int32(i))
+	}
+}
+
+// growSlots extends the slot table to cover at least nblocks blocks.
+func (h *Hierarchy) growSlots(nblocks uint64) {
+	if nblocks <= uint64(len(h.slots)) {
+		return
+	}
+	grown := make([]int32, nblocks)
+	copy(grown, h.slots)
+	for i := len(h.slots); i < len(grown); i++ {
+		grown[i] = -1
+	}
+	h.slots = grown
+}
+
+// slotOf returns blk's arena slot, or -1 when not resident.
+func (h *Hierarchy) slotOf(blk uint64) int32 {
+	if blk < uint64(len(h.slots)) {
+		return h.slots[blk]
+	}
+	return -1
+}
+
+// dataAt returns the value buffer of an arena slot.
+func (h *Hierarchy) dataAt(slot int32) *[BlockSize]byte {
+	return (*[BlockSize]byte)(h.arena[int(slot)*BlockSize:])
+}
+
+// blockData returns the value buffer of a resident block.
+func (h *Hierarchy) blockData(blk uint64) *[BlockSize]byte {
+	return h.dataAt(h.slots[blk])
+}
+
+// attach makes blk resident in the flat store and returns its value buffer.
+// The caller must have made LLC room first (inclusion bounds residency to
+// llcLines, so the free stack cannot be empty after an LLC insert).
+func (h *Hierarchy) attach(blk uint64) *[BlockSize]byte {
+	if blk >= uint64(len(h.slots)) {
+		// Backing without a known size: grow geometrically.
+		n := uint64(len(h.slots)) * 2
+		if n < 1024 {
+			n = 1024
+		}
+		for n <= blk {
+			n *= 2
+		}
+		h.growSlots(n)
+	}
+	n := len(h.freeSlots) - 1
+	slot := h.freeSlots[n]
+	h.freeSlots = h.freeSlots[:n]
+	h.slots[blk] = slot
+	return h.dataAt(slot)
+}
+
+// detach drops blk's value and recycles its arena slot.
+func (h *Hierarchy) detach(blk uint64) {
+	slot := h.slots[blk]
+	h.slots[blk] = -1
+	h.freeSlots = append(h.freeSlots, slot)
 }
 
 // Config returns the hierarchy configuration.
@@ -405,7 +519,7 @@ func (h *Hierarchy) ensureResident(core int, blk uint64) *[BlockSize]byte {
 		if slot, ok := h.priv[core][0].lookup(blk); ok {
 			h.priv[core][0].touch(slot, h.tick)
 			h.stats.Hits[0]++
-			return h.data[blk]
+			return h.blockData(blk)
 		}
 		h.stats.Misses[0]++
 	}
@@ -430,12 +544,12 @@ func (h *Hierarchy) ensureResident(core int, blk uint64) *[BlockSize]byte {
 		}
 	}
 	if hitLevel == -1 {
-		// Fill from backing memory.
-		b := new([BlockSize]byte)
+		// Fill from backing memory. The LLC insert happens first so its
+		// eviction recycles an arena slot before the fill claims one.
+		h.insertLLC(blk)
+		b := h.attach(blk)
 		h.backing.ReadBlock(blk<<blockShift, b[:])
 		h.stats.Fills++
-		h.data[blk] = b
-		h.insertLLC(blk)
 		hitLevel = h.nlev - 1
 	}
 	// Fill private levels from hitLevel-1 down to 0 (outermost first).
@@ -446,7 +560,7 @@ func (h *Hierarchy) ensureResident(core int, blk uint64) *[BlockSize]byte {
 	for l := top; l >= 0; l-- {
 		h.insertPrivate(core, l, blk)
 	}
-	return h.data[blk]
+	return h.blockData(blk)
 }
 
 // insertLLC inserts blk into the shared LLC, evicting a victim if needed.
@@ -477,10 +591,10 @@ func (h *Hierarchy) evictLLCSlot(slot int) {
 		}
 	}
 	if dirty {
-		h.backing.WriteBlock(victim<<blockShift, h.data[victim][:])
+		h.backing.WriteBlock(victim<<blockShift, h.blockData(victim)[:])
 		h.stats.EvictionWritebacks++
 	}
-	delete(h.data, victim)
+	h.detach(victim)
 	h.llc.state[slot] = 0
 }
 
@@ -591,7 +705,9 @@ func (h *Hierarchy) invalidateEverywhere(blk uint64) {
 			}
 		}
 	}
-	delete(h.data, blk)
+	if h.slotOf(blk) >= 0 {
+		h.detach(blk)
+	}
 }
 
 // FlushResult reports what one Flush call did.
@@ -615,13 +731,14 @@ func (h *Hierarchy) Flush(addr, size uint64, op FlushOp) FlushResult {
 	for blk := first; blk <= last; blk++ {
 		r.Blocks++
 		h.stats.FlushOps++
-		if _, resident := h.data[blk]; !resident {
+		slot := h.slotOf(blk)
+		if slot < 0 {
 			r.CleanFlushed++
 			h.stats.CleanFlushes++
 			continue
 		}
 		if h.dirtyAnywhere(blk) {
-			h.backing.WriteBlock(blk<<blockShift, h.data[blk][:])
+			h.backing.WriteBlock(blk<<blockShift, h.dataAt(slot)[:])
 			h.stats.DirtyFlushes++
 			r.DirtyFlushed++
 			h.cleanEverywhere(blk)
@@ -639,11 +756,18 @@ func (h *Hierarchy) Flush(addr, size uint64, op FlushOp) FlushResult {
 // WriteBackAll drains every dirty block to backing memory and cleans it,
 // leaving blocks resident. It models the system forcing full consistency
 // (used by the copy-based "verified" campaign and the C/R baseline).
+//
+// The drain proceeds in ascending block order. Media-write order is part of
+// the determinism contract: the image's write hook (the fault injector, wear
+// and trace observers) sees every WriteBlock in sequence, so a map-ordered
+// drain — as this method historically did — varied run to run on identical
+// seeds. Ascending order is reproducible and free with the flat store.
 func (h *Hierarchy) WriteBackAll() uint64 {
+	blks := h.residentSorted()
 	var n uint64
-	for blk, data := range h.data {
+	for _, blk := range blks {
 		if h.dirtyAnywhere(blk) {
-			h.backing.WriteBlock(blk<<blockShift, data[:])
+			h.backing.WriteBlock(blk<<blockShift, h.blockData(blk)[:])
 			h.cleanEverywhere(blk)
 			h.stats.DrainWritebacks++
 			n++
@@ -652,23 +776,71 @@ func (h *Hierarchy) WriteBackAll() uint64 {
 	return n
 }
 
+// residentSorted collects the resident block numbers (the valid LLC lines,
+// by inclusion) in ascending order, reusing the hierarchy's scratch slice.
+func (h *Hierarchy) residentSorted() []uint64 {
+	blks := h.scratch[:0]
+	for i, st := range h.llc.state {
+		if st&stValid != 0 {
+			blks = append(blks, h.llc.tags[i])
+		}
+	}
+	slices.Sort(blks)
+	h.scratch = blks
+	return blks
+}
+
 // DropAll models a crash: every volatile cache loses its contents; nothing
 // is written back. The backing image retains only what had already reached
-// it. Statistics are preserved.
+// it. Statistics are preserved. The flat store is recycled in place — no
+// allocation per crash.
 func (h *Hierarchy) DropAll() {
+	for i, st := range h.llc.state {
+		if st&stValid != 0 {
+			h.detach(h.llc.tags[i])
+		}
+	}
 	h.llc.invalidateAll()
 	for c := range h.priv {
 		for _, pc := range h.priv[c] {
 			pc.invalidateAll()
 		}
 	}
-	h.data = make(map[uint64]*[BlockSize]byte)
+}
+
+// Reset returns the hierarchy to its just-constructed state: every level
+// invalidated, the flat store empty with slots handed out in construction
+// order, statistics and the recency clock zeroed. A Reset hierarchy behaves
+// identically to a fresh New over the same backing, which is what lets
+// campaign workers reuse one machine per crash test.
+func (h *Hierarchy) Reset() {
+	for i, st := range h.llc.state {
+		if st&stValid != 0 {
+			h.slots[h.llc.tags[i]] = -1
+		}
+	}
+	h.llc.invalidateAll()
+	h.llc.rng = rngSeed
+	for c := range h.priv {
+		for _, pc := range h.priv[c] {
+			pc.invalidateAll()
+			pc.rng = rngSeed
+		}
+	}
+	h.resetFreeSlots()
+	h.tick = 0
+	h.ResetStats()
 }
 
 // DirtyBytesIn counts bytes in [addr, addr+size) whose architectural value
 // (cache contents) differs from the backing image — the bytes that would be
 // lost by a crash. This is exactly the paper's per-object data-inconsistency
 // numerator.
+//
+// A poisoned backing block (detected-uncorrectable after media faults) has
+// no durable value to compare against: every covered byte of a dirty cached
+// block over poisoned media counts as inconsistent, instead of tripping the
+// backing's media-error panic mid-postmortem.
 func (h *Hierarchy) DirtyBytesIn(addr, size uint64) uint64 {
 	if size == 0 {
 		return 0
@@ -677,11 +849,10 @@ func (h *Hierarchy) DirtyBytesIn(addr, size uint64) uint64 {
 	first := addr >> blockShift
 	last := (addr + size - 1) >> blockShift
 	for blk := first; blk <= last; blk++ {
-		data, resident := h.data[blk]
-		if !resident || !h.dirtyAnywhere(blk) {
+		slot := h.slotOf(blk)
+		if slot < 0 || !h.dirtyAnywhere(blk) {
 			continue
 		}
-		h.backing.ReadBlock(blk<<blockShift, h.tmp[:])
 		lo, hi := blk<<blockShift, (blk+1)<<blockShift
 		if addr > lo {
 			lo = addr
@@ -689,6 +860,12 @@ func (h *Hierarchy) DirtyBytesIn(addr, size uint64) uint64 {
 		if addr+size < hi {
 			hi = addr + size
 		}
+		if h.poisoned != nil && h.poisoned(blk<<blockShift) {
+			n += hi - lo
+			continue
+		}
+		data := h.dataAt(slot)
+		h.backing.ReadBlock(blk<<blockShift, h.tmp[:])
 		for i := lo; i < hi; i++ {
 			if data[i&(BlockSize-1)] != h.tmp[i&(BlockSize-1)] {
 				n++
@@ -701,9 +878,12 @@ func (h *Hierarchy) DirtyBytesIn(addr, size uint64) uint64 {
 // ResidentBlocks returns the number of blocks currently held in the
 // hierarchy, and how many of those are dirty somewhere.
 func (h *Hierarchy) ResidentBlocks() (resident, dirty int) {
-	resident = len(h.data)
-	for blk := range h.data {
-		if h.dirtyAnywhere(blk) {
+	for i, st := range h.llc.state {
+		if st&stValid == 0 {
+			continue
+		}
+		resident++
+		if h.dirtyAnywhere(h.llc.tags[i]) {
 			dirty++
 		}
 	}
@@ -714,6 +894,10 @@ func (h *Hierarchy) ResidentBlocks() (resident, dirty int) {
 // into buf without perturbing cache state or statistics: cached bytes come
 // from the cache, the rest from backing. Intended for assertions and
 // postmortem analysis.
+//
+// Bytes of a non-resident block whose backing is poisoned are lost — no
+// durable or cached copy exists — and read as zero rather than raising the
+// backing's media-error panic.
 func (h *Hierarchy) ArchValue(addr uint64, buf []byte) {
 	for len(buf) > 0 {
 		blk := addr >> blockShift
@@ -722,8 +906,10 @@ func (h *Hierarchy) ArchValue(addr uint64, buf []byte) {
 		if n > len(buf) {
 			n = len(buf)
 		}
-		if data, ok := h.data[blk]; ok {
-			copy(buf[:n], data[off:off+n])
+		if slot := h.slotOf(blk); slot >= 0 {
+			copy(buf[:n], h.dataAt(slot)[off:off+n])
+		} else if h.poisoned != nil && h.poisoned(blk<<blockShift) {
+			clear(buf[:n])
 		} else {
 			h.backing.ReadBlock(blk<<blockShift, h.tmp[:])
 			copy(buf[:n], h.tmp[off:off+n])
@@ -747,23 +933,32 @@ func (h *Hierarchy) CheckInclusion() error {
 				if _, ok := h.llc.lookup(blk); !ok {
 					return fmt.Errorf("block %#x valid in core %d level %d but not in LLC", blk, c, l)
 				}
-				if _, ok := h.data[blk]; !ok {
+				if h.slotOf(blk) < 0 {
 					return fmt.Errorf("block %#x valid in core %d level %d but has no value buffer", blk, c, l)
 				}
 			}
 		}
 	}
+	attached := 0
 	for i, st := range h.llc.state {
 		if st&stValid != 0 {
-			if _, ok := h.data[h.llc.tags[i]]; !ok {
+			if h.slotOf(h.llc.tags[i]) < 0 {
 				return fmt.Errorf("block %#x valid in LLC but has no value buffer", h.llc.tags[i])
 			}
 		}
 	}
-	for blk := range h.data {
-		if _, ok := h.llc.lookup(blk); !ok {
+	for blk, slot := range h.slots {
+		if slot < 0 {
+			continue
+		}
+		attached++
+		if _, ok := h.llc.lookup(uint64(blk)); !ok {
 			return fmt.Errorf("value buffer for block %#x not resident in LLC", blk)
 		}
+	}
+	if attached+len(h.freeSlots) != h.llcLines {
+		return fmt.Errorf("slot leak: %d attached + %d free != %d arena slots",
+			attached, len(h.freeSlots), h.llcLines)
 	}
 	return nil
 }

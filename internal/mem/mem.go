@@ -220,6 +220,28 @@ func (im *Image) Restore(snap []byte) {
 	im.poisoned = nil
 }
 
+// Reset returns the image to its as-constructed state: all-zero contents,
+// zero write counters, no poison, and no wear map or write hook attached.
+// Campaign workers use it to recycle one image across crash tests instead of
+// allocating a fresh one per test.
+func (im *Image) Reset() { im.ResetPrefix(im.Size()) }
+
+// ResetPrefix is Reset but only zeroes the first n bytes of contents (rounded
+// up to a whole block). Counters, poison, wear and hook are fully reset
+// regardless of n. Callers that know the high-water mark of past writes (for
+// a Space, its Extent) avoid re-zeroing untouched capacity.
+func (im *Image) ResetPrefix(n uint64) {
+	n = (n + BlockSize - 1) &^ (BlockSize - 1)
+	if n > uint64(len(im.data)) {
+		n = uint64(len(im.data))
+	}
+	clear(im.data[:n])
+	im.blockWrites, im.bytesWritten = 0, 0
+	im.poisoned = nil
+	im.wear = nil
+	im.writeHook = nil
+}
+
 // Object describes one application data object placed in simulated NVM.
 // Following the paper (§2.2) only heap and global objects are modelled.
 type Object struct {
@@ -251,6 +273,18 @@ func NewSpace(capacity uint64) *Space {
 
 // Image returns the underlying NVM image.
 func (s *Space) Image() *Image { return s.img }
+
+// Reset forgets every registered object and returns the image to its
+// as-constructed state, zeroing only the allocated prefix (in-band traffic
+// and fault injection are both bounded by Extent, so bytes past the brk were
+// never written). After Reset the space is indistinguishable from a fresh
+// NewSpace of the same capacity.
+func (s *Space) Reset() {
+	s.img.ResetPrefix(s.brk)
+	s.brk = 0
+	s.objs = s.objs[:0]
+	clear(s.byName)
+}
 
 // Alloc places a new object of size bytes, block-aligned, and registers it.
 // It panics if the name is already taken or the image is exhausted: both are

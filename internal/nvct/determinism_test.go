@@ -1,0 +1,131 @@
+package nvct_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"testing"
+
+	"easycrash/internal/faultmodel"
+	"easycrash/internal/nvct"
+)
+
+// reportDigest folds every replay-relevant field of a campaign report into
+// one hash, so seed-replay tests can assert byte-identical results across
+// parallelism settings, engine versions and block-store implementations.
+// Map-valued fields are folded in sorted key order (the maps themselves are
+// per-test and order-free; the digest must not depend on iteration order).
+func reportDigest(r *nvct.Report) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "kernel=%s regions=%d requested=%d tests=%d counts=%v\n",
+		r.Kernel, r.Regions, r.Requested, len(r.Tests), r.Counts)
+	for i, t := range r.Tests {
+		fmt.Fprintf(h, "%d: acc=%d reg=%d iter=%d out=%s extra=%d scrub=%d err=%q\n",
+			i, t.CrashAccess, t.CrashRegion, t.CrashIter, t.Outcome, t.ExtraIters, t.ScrubbedObjects, t.Err)
+		fmt.Fprintf(h, "  media=%+v\n", t.Media)
+		names := make([]string, 0, len(t.Inconsistency))
+		for name := range t.Inconsistency {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(h, "  inc %s=%.17g\n", name, t.Inconsistency[name])
+		}
+		for _, v := range t.FinalResult {
+			fmt.Fprintf(h, "  final=%.17g\n", v)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Golden digests pin the exact campaign results for fixed seeds. They were
+// captured on the pre-flat-store engine (map block store, fresh machine per
+// test) and must survive any engine rework that does not intentionally
+// change simulated behaviour. Regenerate by running these tests with -v and
+// copying the logged digest after a deliberate behaviour change.
+const (
+	goldenBaselineDigest = "7ed409760abfd6422fbe87a5d13ef6d9f47c4dc9537976f91446efbb61f0f518"
+	goldenPolicyDigest   = "383faaa9283cf2c5601dcd1aa9af43610f7487115e431f0955c92e07b515401a"
+	goldenFaultsDigest   = "38a95eb3685b005297264bd1a21abb607ba83489d34d2b41c149fe90482983d4"
+)
+
+func digestCampaign(t *testing.T, kernel string, policy *nvct.Policy, opts nvct.CampaignOpts) string {
+	t.Helper()
+	rep := tester(t, kernel).RunCampaign(policy, opts)
+	if len(rep.Tests) != opts.Tests {
+		t.Fatalf("campaign kept %d of %d tests", len(rep.Tests), opts.Tests)
+	}
+	return reportDigest(rep)
+}
+
+func checkGolden(t *testing.T, got, want, label string) {
+	t.Helper()
+	t.Logf("%s digest: %s", label, got)
+	if want != "" && got != want {
+		t.Errorf("%s digest = %s, want pinned %s", label, got, want)
+	}
+}
+
+// TestSeedReplayBaseline: same seed, no faults — byte-identical report across
+// serial and parallel execution, pinned against the pre-refactor engine.
+func TestSeedReplayBaseline(t *testing.T) {
+	opts := nvct.CampaignOpts{Tests: 30, Seed: 41, Parallel: 1}
+	serial := digestCampaign(t, "lu", nil, opts)
+	opts.Parallel = 4
+	parallel := digestCampaign(t, "lu", nil, opts)
+	if serial != parallel {
+		t.Fatalf("baseline campaign differs across parallelism:\n serial   %s\n parallel %s", serial, parallel)
+	}
+	checkGolden(t, serial, goldenBaselineDigest, "baseline")
+}
+
+// TestSeedReplayPolicy: a persistence policy in the loop (flush traffic,
+// different write-back interleavings) must replay identically too.
+func TestSeedReplayPolicy(t *testing.T) {
+	policy := nvct.IterationPolicy([]string{"u", "scal"})
+	opts := nvct.CampaignOpts{Tests: 30, Seed: 43, Parallel: 1}
+	serial := digestCampaign(t, "lu", policy, opts)
+	opts.Parallel = 4
+	parallel := digestCampaign(t, "lu", policy, opts)
+	if serial != parallel {
+		t.Fatalf("policy campaign differs across parallelism:\n serial   %s\n parallel %s", serial, parallel)
+	}
+	checkGolden(t, serial, goldenPolicyDigest, "policy")
+}
+
+// TestSeedReplayFaults: media faults draw from per-test seeded injectors;
+// the fault stream and its outcomes must replay byte-identically.
+func TestSeedReplayFaults(t *testing.T) {
+	faults := faultmodel.Config{RBER: 2e-6, TornWrites: true, ECC: faultmodel.SECDED()}
+	policy := nvct.IterationPolicy([]string{"u", "scal"})
+	opts := nvct.CampaignOpts{Tests: 30, Seed: 47, Parallel: 1, Faults: faults, ScrubOnRestart: true}
+	serial := digestCampaign(t, "lu", policy, opts)
+	opts.Parallel = 4
+	parallel := digestCampaign(t, "lu", policy, opts)
+	if serial != parallel {
+		t.Fatalf("faults campaign differs across parallelism:\n serial   %s\n parallel %s", serial, parallel)
+	}
+	checkGolden(t, serial, goldenFaultsDigest, "faults")
+}
+
+// TestSeedReplayVerifiedFaults: the Verified variant drains the whole dirty
+// hierarchy through WriteBackAll right before the faulted crash, so the
+// media-write order of the drain is exposed to the fault injector's write
+// hook. With the old map-ordered drain this sequence varied run to run; the
+// drain must be deterministic for the campaign to replay.
+func TestSeedReplayVerifiedFaults(t *testing.T) {
+	faults := faultmodel.Config{RBER: 2e-6, TornWrites: true, ECC: faultmodel.SECDED()}
+	policy := nvct.IterationPolicy([]string{"u", "scal"})
+	opts := nvct.CampaignOpts{Tests: 30, Seed: 53, Parallel: 1, Faults: faults, Verified: true}
+	first := digestCampaign(t, "lu", policy, opts)
+	second := digestCampaign(t, "lu", policy, opts)
+	if first != second {
+		t.Fatalf("verified+faults campaign not deterministic:\n first  %s\n second %s", first, second)
+	}
+	opts.Parallel = 4
+	parallel := digestCampaign(t, "lu", policy, opts)
+	if first != parallel {
+		t.Fatalf("verified+faults campaign differs across parallelism:\n serial   %s\n parallel %s", first, parallel)
+	}
+}

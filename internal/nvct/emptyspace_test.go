@@ -1,0 +1,51 @@
+package nvct_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"easycrash/internal/apps"
+	"easycrash/internal/mem"
+	"easycrash/internal/nvct"
+	"easycrash/internal/sim"
+)
+
+// idleKernel completes without issuing a single crash-eligible access: its
+// main loop is empty. Its campaigns have an empty crash-point space.
+type idleKernel struct{ it mem.Object }
+
+func (k *idleKernel) Name() string        { return "idle" }
+func (k *idleKernel) Description() string { return "no main-loop accesses" }
+func (k *idleKernel) RegionCount() int    { return 1 }
+func (k *idleKernel) NominalIters() int64 { return 1 }
+func (k *idleKernel) Convergent() bool    { return false }
+func (k *idleKernel) Setup(m *sim.Machine) {
+	k.it = apps.AllocIter(m)
+	m.Space().AllocF64("x", 8, true)
+}
+func (k *idleKernel) Init(m *sim.Machine) {}
+func (k *idleKernel) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
+	m.MainLoopBegin()
+	m.MainLoopEnd()
+	return 1 - from, nil
+}
+func (k *idleKernel) Result(m *sim.Machine) []float64         { return []float64{0} }
+func (k *idleKernel) Verify(m *sim.Machine, g []float64) bool { return true }
+func (k *idleKernel) IterObject() mem.Object                  { return k.it }
+
+// A campaign over an empty crash-point space must fail with a diagnosable
+// error instead of panicking inside math/rand's Int63n.
+func TestEmptyCrashSpaceIsACampaignError(t *testing.T) {
+	tst, err := nvct.NewTester(func() apps.Kernel { return &idleKernel{} }, nvct.Config{})
+	if err != nil {
+		t.Fatalf("golden run of the idle kernel failed: %v", err)
+	}
+	rep, err := tst.RunCampaignContext(context.Background(), nil, nvct.CampaignOpts{Tests: 5, Seed: 1})
+	if !errors.Is(err, nvct.ErrEmptyCrashSpace) {
+		t.Fatalf("err = %v, want ErrEmptyCrashSpace", err)
+	}
+	if rep != nil {
+		t.Fatal("campaign with no crash space returned a report")
+	}
+}

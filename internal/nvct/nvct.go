@@ -349,7 +349,29 @@ type Tester struct {
 	cfg     Config
 	golden  Golden
 	name    string
+
+	// machines recycles simulated machines across crash tests: building a
+	// machine allocates the full NVM image plus the cache arena, so a
+	// campaign of thousands of tests reuses one machine per worker instead.
+	// Every Get is Reset before use; reuse must stay behaviourally invisible.
+	machines sync.Pool
 }
+
+// getMachine returns a pristine machine for this tester's configuration,
+// recycling a pooled one when available.
+func (t *Tester) getMachine() *sim.Machine {
+	if v := t.machines.Get(); v != nil {
+		m := v.(*sim.Machine)
+		m.Reset()
+		return m
+	}
+	return sim.NewMachine(t.cfg.NVMBytes, t.cfg.Cache)
+}
+
+// putMachine recycles a machine. The machine may be in any post-run state —
+// the next getMachine resets it — but must no longer be referenced by the
+// caller.
+func (t *Tester) putMachine(m *sim.Machine) { t.machines.Put(m) }
 
 // NewTester performs the golden run and returns a ready Tester.
 func NewTester(factory apps.Factory, cfg Config) (*Tester, error) {
@@ -377,7 +399,8 @@ func (t *Tester) Config() Config { return t.cfg }
 // iterator-only) and profiles it.
 func (t *Tester) runGolden(policy *Policy) (Golden, string, error) {
 	k := t.factory()
-	m := sim.NewMachine(t.cfg.NVMBytes, t.cfg.Cache)
+	m := t.getMachine()
+	defer t.putMachine(m)
 	k.Setup(m)
 	k.Init(m)
 	m.SetPersister(newPolicyPersister(m, k, policy))
@@ -421,7 +444,8 @@ func (t *Tester) ProfileRun(policy *Policy) (Golden, error) {
 // objects (checkpoint shadow space) on the machine.
 func (t *Tester) ProfileRunWith(makePersister func(m *sim.Machine, k apps.Kernel) sim.Persister) (Golden, error) {
 	k := t.factory()
-	m := sim.NewMachine(t.cfg.NVMBytes, t.cfg.Cache)
+	m := t.getMachine()
+	defer t.putMachine(m)
 	k.Setup(m)
 	k.Init(m)
 	m.SetPersister(makePersister(m, k))
@@ -485,6 +509,12 @@ type CampaignOpts struct {
 // from a campaign-wide cancellation.
 var errTestTimeout = errors.New("nvct: per-test deadline exceeded")
 
+// ErrEmptyCrashSpace reports a campaign whose crash-point space is empty:
+// the kernel's main loop issued zero crash-eligible accesses (or the
+// crash-eligible tick profile measured zero ticks), so no crash point can be
+// drawn. Test with errors.Is.
+var ErrEmptyCrashSpace = errors.New("nvct: empty crash-point space (main loop issued no crash-eligible accesses)")
+
 // RunCampaign runs a crash-test campaign under the given persistence policy
 // (nil = baseline iterator-only). It is RunCampaignContext without
 // cancellation; setup errors (an invalid fault configuration, a failed
@@ -532,6 +562,10 @@ func (t *Tester) RunCampaignContext(ctx context.Context, policy *Policy, opts Ca
 		if g > 0 {
 			space = g
 		}
+	}
+	if space == 0 {
+		// rand.Int63n(0) would panic; surface a diagnosable campaign error.
+		return nil, fmt.Errorf("%w (kernel %s)", ErrEmptyCrashSpace, t.name)
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	points := make([]uint64, opts.Tests)
@@ -672,7 +706,8 @@ func setInterrupt(ctx context.Context, m *sim.Machine, deadline time.Time) {
 // accesses plus flushed blocks) with one undisturbed run.
 func (t *Tester) profileTicks(policy *Policy) (uint64, error) {
 	k := t.factory()
-	m := sim.NewMachine(t.cfg.NVMBytes, t.cfg.Cache)
+	m := t.getMachine()
+	defer t.putMachine(m)
 	k.Setup(m)
 	k.Init(m)
 	m.SetFlushCrashEligible(true)
@@ -689,7 +724,7 @@ func (t *Tester) runOne(ctx context.Context, policy *Policy, crashAt uint64, fau
 	verified := opts.Verified
 	// Phase 1: run until the crash fires.
 	k := t.factory()
-	m := sim.NewMachine(t.cfg.NVMBytes, t.cfg.Cache)
+	m := t.getMachine()
 	k.Setup(m)
 	k.Init(m)
 	if opts.CrashDuringPersistence {
@@ -708,6 +743,7 @@ func (t *Tester) runOne(ctx context.Context, policy *Policy, crashAt uint64, fau
 	if crash == nil {
 		// The crash point exceeded this run's accesses (cannot happen when
 		// the policy does not change demand traffic); treat as S1.
+		t.putMachine(m)
 		return TestResult{CrashAccess: crashAt, CrashRegion: sim.NoRegion, Outcome: S1}
 	}
 
@@ -735,6 +771,9 @@ func (t *Tester) runOne(ctx context.Context, policy *Policy, crashAt uint64, fau
 		m.CrashNow()
 	}
 	dump := m.Image().Snapshot()
+	// Phase 1 is done with the machine; the restart phase (usually on the
+	// same worker) picks it straight back up from the pool.
+	t.putMachine(m)
 
 	res := TestResult{
 		CrashAccess:   crash.Access,
@@ -779,7 +818,8 @@ func (t *Tester) runToCrash(k apps.Kernel, m *sim.Machine) (crash *sim.Crash) {
 // falls back to iteration 0, counting the redone iterations as extra).
 func (t *Tester) restart(ctx context.Context, dump []byte, poison map[uint64]struct{}, crashIter int64, scrub bool, deadline time.Time) (Outcome, int64, []float64, int) {
 	k := t.factory()
-	m := sim.NewMachine(t.cfg.NVMBytes, t.cfg.Cache)
+	m := t.getMachine()
+	defer t.putMachine(m)
 	k.Setup(m)
 	setInterrupt(ctx, m, deadline)
 

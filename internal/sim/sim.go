@@ -141,6 +141,31 @@ func NewMachine(nvmBytes uint64, cfg cachesim.Config) *Machine {
 	}
 }
 
+// Reset returns the machine to its as-constructed state — empty object
+// space, cold caches, disarmed crash, no persister/observer/faults — without
+// reallocating the NVM image or the cache arena. Campaign workers recycle
+// one machine per worker across crash tests; a reset machine must be
+// behaviourally indistinguishable from NewMachine with the same parameters.
+func (m *Machine) Reset() {
+	m.space.Reset() // also detaches any write hook on the image
+	m.hier.Reset()
+	m.core = 0
+	m.inMainLoop = false
+	m.mainAccess = 0
+	m.crashAt = 0
+	m.region = NoRegion
+	m.iter = 0
+	m.regionAccess = [MaxRegions + 1]uint64{}
+	m.iterations = 0
+	m.persister = nil
+	m.persist = PersistStats{}
+	m.observer = nil
+	m.flushCrashes = false
+	m.faults = nil
+	m.lastWriteSeq = 0
+	m.intrFn, m.intrEvery, m.intrCount = nil, 0, 0
+}
+
 // Space returns the machine's object space.
 func (m *Machine) Space() *mem.Space { return m.space }
 
