@@ -8,9 +8,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
 
 	"easycrash/internal/apps"
 	"easycrash/internal/cli"
@@ -34,6 +38,7 @@ func main() {
 		cache   = flag.String("cache", "test", "cache geometry: test | paper")
 	)
 	faultFlags := cli.RegisterFaultFlags(flag.CommandLine, false)
+	nestedFlags := cli.RegisterNestedFlags(flag.CommandLine)
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -56,6 +61,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if err := nestedFlags.Validate(); err != nil {
+		log.Fatal(err)
+	}
 
 	prof, err := cli.ParseProfile(*profile)
 	if err != nil {
@@ -71,15 +79,21 @@ func main() {
 	}
 
 	cfg := core.Config{
-		Ts:     *ts,
-		Tests:  *tests,
-		Seed:   *seed,
-		Tester: nvct.Config{Cache: geom},
-		Faults: faults,
+		Ts:            *ts,
+		Tests:         *tests,
+		Seed:          *seed,
+		Tester:        nvct.Config{Cache: geom},
+		Faults:        faults,
+		RecrashDepth:  nestedFlags.Depth,
+		RetryBudget:   nestedFlags.Budget,
+		TrialDeadline: nestedFlags.Deadline,
 	}
 	if faults.Enabled() {
 		fmt.Printf("media faults: RBER %g, torn writes %v, ECC correct %d / detect %d (scrub-and-fallback restart in Step 4)\n\n",
 			faults.RBER, faults.TornWrites, faults.ECC.CorrectBits, faults.ECC.DetectBits)
+	}
+	if nestedFlags.Depth > 0 {
+		fmt.Printf("nested failures: Step 4 validates under up to %d crash(es) during recovery per trial\n\n", nestedFlags.Depth)
 	}
 
 	var sysParams sysmodel.Params
@@ -94,14 +108,33 @@ func main() {
 			*mtbf, *tchk, tau)
 	}
 
-	res, err := core.Run(factory, cfg)
-	if err != nil {
+	// An interrupted workflow (^C, SIGTERM) cancels the running campaign
+	// cleanly and still prints the evidence gathered so far.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := core.RunContext(ctx, factory, cfg)
+	if res == nil {
 		log.Fatal(err)
+	}
+	interrupted := err != nil
+	if interrupted {
+		stop() // a second signal kills the process the default way
+		log.Printf("workflow interrupted (%v): printing the partial evidence", err)
 	}
 
 	fmt.Printf("== EasyCrash workflow for %s ==\n", res.Kernel)
 	fmt.Printf("golden run: %d iterations, %d accesses, footprint %d bytes\n",
 		res.Golden.Iters, res.Golden.MainAccesses, res.Golden.Footprint)
+
+	if res.Baseline == nil || (interrupted && len(res.Objects) == 0) {
+		// Cancelled inside (or right after) the Step-1 campaign: nothing
+		// downstream of the partial baseline is meaningful.
+		if res.Baseline != nil {
+			fmt.Printf("\nStep 1 — baseline campaign interrupted at %d/%d tests\n",
+				len(res.Baseline.Tests), res.Baseline.Requested)
+		}
+		os.Exit(1)
+	}
 
 	fmt.Printf("\nStep 1 — baseline campaign (%d tests): recomputability %.3f  [S1 %d  S2 %d  S3 %d  S4 %d]\n",
 		len(res.Baseline.Tests), res.BaselineY,
@@ -121,6 +154,11 @@ func main() {
 	}
 	fmt.Printf("  critical data objects: %v\n", res.Critical)
 
+	if interrupted && len(res.Regions) == 0 {
+		// Cancelled inside the Step-3 campaign.
+		os.Exit(1)
+	}
+
 	fmt.Println("\nStep 3 — code-region selection (knapsack under t_s):")
 	for _, r := range res.Regions {
 		mark := " "
@@ -139,11 +177,24 @@ func main() {
 		fmt.Printf("  predicted Y' %s tau = %.3f\n", verdict, cfg.Tau)
 	}
 
-	if res.Final != nil {
+	switch {
+	case res.Final != nil:
 		fmt.Printf("\nStep 4 — production policy validated: recomputability %.3f (baseline %.3f)\n",
 			res.Final.Recomputability(), res.BaselineY)
-	} else {
+		if maxd := res.Final.MaxDepth(); maxd > 0 {
+			fmt.Printf("  nested validation: %d recovery attempts consumed, depth counts %v\n",
+				res.Final.RetriesConsumed(), res.Final.DepthCounts())
+			for k, r := range res.Final.RecrashRecoverability() {
+				fmt.Printf("  R(%d) = %.3f\n", k+1, r)
+			}
+		}
+	case interrupted:
+		fmt.Println("\nStep 4 — validation interrupted")
+	default:
 		fmt.Println("\nStep 4 — no production policy (no region selected)")
+	}
+	if interrupted {
+		os.Exit(1)
 	}
 
 	if *mtbf > 0 && res.Final != nil {

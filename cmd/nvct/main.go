@@ -9,7 +9,13 @@
 //	     [-every-iteration] [-frequency 2] [-verified] [-profile bench]
 //	     [-cache paper] [-during-persistence] [-parallel 4]
 //	     [-rber 1e-5] [-torn] [-ecc 1] [-ecc-detect 2] [-scrub]
-//	     [-timeout 30s]
+//	     [-timeout 30s] [-recrash-depth 2] [-retry-budget 3]
+//	     [-trial-deadline 2m]
+//
+// With -recrash-depth K > 0 the campaign runs the nested-failure model:
+// up to K additional crashes strike each trial's recovery runs, and the
+// report adds the recoverability-under-re-crash curve R(k). SIGINT/SIGTERM
+// cancel the campaign gracefully; the partial report is still printed.
 package main
 
 import (
@@ -17,8 +23,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
 	"easycrash/internal/apps"
 	"easycrash/internal/cli"
@@ -45,6 +54,7 @@ func main() {
 		cache    = flag.String("cache", "test", "cache geometry: test | paper")
 	)
 	faultFlags := cli.RegisterFaultFlags(flag.CommandLine, true)
+	nestedFlags := cli.RegisterNestedFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -65,6 +75,9 @@ func main() {
 	}
 	faults, err := faultFlags.Config()
 	if err != nil {
+		log.Fatal(err)
+	}
+	if err := nestedFlags.Validate(); err != nil {
 		log.Fatal(err)
 	}
 
@@ -102,13 +115,27 @@ func main() {
 		Faults:                 faults,
 		ScrubOnRestart:         faultFlags.Scrub,
 		TestTimeout:            faultFlags.Timeout,
+		RecrashDepth:           nestedFlags.Depth,
+		RetryBudget:            nestedFlags.Budget,
+		TrialDeadline:          nestedFlags.Deadline,
 	}
-	rep, err := tester.RunCampaignContext(context.Background(), policy, opts)
-	if err != nil {
+	// An interrupted campaign (^C, SIGTERM) cancels cleanly: in-flight tests
+	// abort, and the partial report of completed tests is still printed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := tester.RunCampaignContext(ctx, policy, opts)
+	if rep == nil {
 		log.Fatal(err)
 	}
+	if err != nil {
+		stop() // a second signal kills the process the default way
+		log.Printf("campaign interrupted (%v): partial report of %d/%d tests", err, len(rep.Tests), rep.Requested)
+	}
+	if len(rep.Tests) == 0 {
+		log.Fatal("no tests completed")
+	}
 
-	fmt.Printf("\ncampaign: %d tests (seed %d, policy %s)\n", *tests, *seed, cli.DescribePolicy(policy, *verified))
+	fmt.Printf("\ncampaign: %d tests (seed %d, policy %s)\n", len(rep.Tests), *seed, cli.DescribePolicy(policy, *verified))
 	if faults.Enabled() {
 		fmt.Printf("  media faults: RBER %g, torn writes %v, ECC correct %d / detect %d, scrub %v\n",
 			faults.RBER, faults.TornWrites, faults.ECC.CorrectBits, faults.ECC.DetectBits, faultFlags.Scrub)
@@ -130,6 +157,25 @@ func main() {
 		due, caught, missed := rep.MediaErrorCounts()
 		fmt.Printf("  media outcomes: %d detected-uncorrectable, %d silent corruptions caught by verification, %d missed\n",
 			due, caught, missed)
+	}
+	if maxd := rep.MaxDepth(); maxd > 0 {
+		fmt.Printf("\nnested failures (depth <= %d): %d recovery attempts consumed, depth counts %v\n",
+			nestedFlags.Depth+1, rep.RetriesConsumed(), rep.DepthCounts())
+		fmt.Println("recoverability under re-crash:")
+		for k, r := range rep.RecrashRecoverability() {
+			fmt.Printf("  R(%d) = %.3f\n", k+1, r)
+		}
+		if mean := rep.MeanFinalInconsistency(); len(mean) > 0 {
+			fmt.Println("per-object mean data-inconsistency rate at the final crash of each chain:")
+			var finals []string
+			for name := range mean {
+				finals = append(finals, name)
+			}
+			sort.Strings(finals)
+			for _, name := range finals {
+				fmt.Printf("  %-10s %.4f\n", name, mean[name])
+			}
+		}
 	}
 
 	fmt.Println("\nper-region recomputability (c_k):")
@@ -157,5 +203,8 @@ func main() {
 			sum += r
 		}
 		fmt.Printf("  %-10s %.4f\n", name, sum/float64(len(rates)))
+	}
+	if err != nil {
+		os.Exit(1) // the report above is partial
 	}
 }

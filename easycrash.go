@@ -25,6 +25,8 @@
 package easycrash
 
 import (
+	"context"
+
 	"easycrash/internal/apps"
 	"easycrash/internal/cachesim"
 	"easycrash/internal/ckpt"
@@ -92,6 +94,20 @@ const (
 // point can be drawn. Test with errors.Is.
 var ErrEmptyCrashSpace = nvct.ErrEmptyCrashSpace
 
+// ErrRetryBudgetExhausted reports a nested-failure trial whose recovery kept
+// crashing until the per-trial retry budget was spent; the trial is recorded
+// as an S3 interruption carrying this error. Test with errors.Is.
+var ErrRetryBudgetExhausted = nvct.ErrRetryBudgetExhausted
+
+// ErrTrialDeadline reports a nested-failure trial that exceeded its
+// wall-clock deadline (CampaignOpts.TrialDeadline); the trial is recorded as
+// SErr and the campaign continues. Test with errors.Is.
+var ErrTrialDeadline = nvct.ErrTrialDeadline
+
+// ChainCrash is one crash of a nested-failure trial's crash chain (see
+// CampaignOpts.RecrashDepth and TestResult.Chain).
+type ChainCrash = nvct.ChainCrash
+
 // FaultConfig describes the NVM media-fault model applied at each simulated
 // crash: torn writes at the 8-byte atomic-write granularity, raw bit errors
 // at a configurable rate, and per-block ECC. The zero value is the paper's
@@ -131,6 +147,17 @@ func Run(f Factory, cfg Config) (*Result, error) { return core.Run(f, cfg) }
 
 // RunWithTester executes the workflow against an existing tester.
 func RunWithTester(t *Tester, cfg Config) (*Result, error) { return core.RunWithTester(t, cfg) }
+
+// RunContext is Run honouring ctx: a cancellation stops the running campaign
+// promptly and returns the partially filled Result alongside ctx's error.
+func RunContext(ctx context.Context, f Factory, cfg Config) (*Result, error) {
+	return core.RunContext(ctx, f, cfg)
+}
+
+// RunWithTesterContext is RunWithTester honouring ctx (see RunContext).
+func RunWithTesterContext(ctx context.Context, t *Tester, cfg Config) (*Result, error) {
+	return core.RunWithTesterContext(ctx, t, cfg)
+}
 
 // CacheConfig describes a simulated cache hierarchy.
 type CacheConfig = cachesim.Config

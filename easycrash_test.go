@@ -1,9 +1,13 @@
 package easycrash_test
 
 import (
+	"errors"
+	"fmt"
+
 	"testing"
 
 	"easycrash"
+	"easycrash/internal/nvct"
 )
 
 func TestFacadeKernels(t *testing.T) {
@@ -86,5 +90,69 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 	if writes.NormalizedEasyCrash() < 1 || writes.NormalizedCkptAll() < 1 {
 		t.Fatalf("writes report %+v", writes)
+	}
+}
+
+// TestFacadeNamedErrors pins the re-exported named errors to their engine
+// identities: errors.Is must work through the facade, and the strings the
+// campaign records in TestResult.Err must round-trip.
+func TestFacadeNamedErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		facade error
+		engine error
+	}{
+		{"empty crash space", easycrash.ErrEmptyCrashSpace, nvct.ErrEmptyCrashSpace},
+		{"retry budget exhausted", easycrash.ErrRetryBudgetExhausted, nvct.ErrRetryBudgetExhausted},
+		{"trial deadline", easycrash.ErrTrialDeadline, nvct.ErrTrialDeadline},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.facade == nil {
+				t.Fatal("facade error is nil")
+			}
+			if !errors.Is(tc.facade, tc.engine) || !errors.Is(tc.engine, tc.facade) {
+				t.Fatalf("facade error %v is not the engine's %v", tc.facade, tc.engine)
+			}
+			if wrapped := fmt.Errorf("campaign: %w", tc.engine); !errors.Is(wrapped, tc.facade) {
+				t.Fatalf("errors.Is fails through wrapping for %v", tc.facade)
+			}
+			if tc.facade.Error() == "" {
+				t.Fatal("named error has an empty message")
+			}
+		})
+	}
+}
+
+// TestFacadeNestedCampaign drives a small nested-failure campaign purely
+// through the facade: options, chain records and R(k) metrics must all be
+// reachable without importing internal packages.
+func TestFacadeNestedCampaign(t *testing.T) {
+	factory, err := easycrash.NewKernel("mg", easycrash.ProfileTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tester, err := easycrash.NewTester(factory, easycrash.TesterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := tester.RunCampaign(nil, easycrash.CampaignOpts{
+		Tests: 20, Seed: 11, RecrashDepth: 1, RetryBudget: 1,
+	})
+	if rep.MaxDepth() < 1 {
+		t.Fatalf("MaxDepth = %d", rep.MaxDepth())
+	}
+	exhausted := 0
+	for _, tr := range rep.Tests {
+		var chain []easycrash.ChainCrash = tr.Chain
+		if len(chain) != tr.Depth {
+			t.Fatalf("chain length %d for depth %d", len(chain), tr.Depth)
+		}
+		if tr.Err == easycrash.ErrRetryBudgetExhausted.Error() {
+			exhausted++
+		}
+	}
+	if rep.MaxDepth() > 1 && exhausted == 0 {
+		t.Fatal("depth-2 chains under budget 1 never reported ErrRetryBudgetExhausted")
 	}
 }

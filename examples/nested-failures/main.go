@@ -1,0 +1,81 @@
+// nested-failures sweeps the re-crash depth K of the nested-failure model
+// and shows how recoverability decays when failures strike the recovery runs
+// themselves. Each trial is a crash chain: the initial crash, then up to K
+// further crashes at seed-derived points of the successive recovery
+// attempts. R(k) is the survival curve — among trials whose chain reached at
+// least k crashes, the fraction that ultimately recomputed — so R(1) is the
+// classic success rate and deeper levels can only lose more volatile state.
+//
+// The sweep contrasts the iterator-only baseline with the EasyCrash-style
+// production policy (persist MG's solution and residual every iteration):
+// both curves decay with k, but the policy's smaller volatile window keeps
+// it above the baseline at every depth.
+//
+//	go run ./examples/nested-failures [-tests 150] [-depth 3] [-seed 7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"easycrash"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		tests = flag.Int("tests", 150, "trials per campaign")
+		depth = flag.Int("depth", 3, "max additional crashes during recovery (K)")
+		seed  = flag.Int64("seed", 7, "campaign seed")
+	)
+	flag.Parse()
+
+	factory, err := easycrash.NewKernel("mg", easycrash.ProfileTest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tester, err := easycrash.NewTester(factory, easycrash.TesterConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MG golden run: %d V-cycles, %d memory accesses\n",
+		tester.Golden().Iters, tester.Golden().MainAccesses)
+
+	policies := []struct {
+		label  string
+		policy *easycrash.Policy
+	}{
+		{"baseline (iterator only) ", nil},
+		{"EasyCrash (persist u,r)  ", easycrash.IterationPolicy([]string{"u", "r"})},
+	}
+
+	fmt.Printf("\nR(k): recoverability when the chain reaches at least k crashes (%d trials, K=%d):\n", *tests, *depth)
+	header := "  policy                     success"
+	for k := 1; k <= *depth+1; k++ {
+		header += fmt.Sprintf("  R(%d)  ", k)
+	}
+	fmt.Println(header + "retries")
+	for _, p := range policies {
+		rep := tester.RunCampaign(p.policy, easycrash.CampaignOpts{
+			Tests: *tests, Seed: *seed, RecrashDepth: *depth,
+		})
+		row := fmt.Sprintf("  %s  %.3f ", p.label, rep.SuccessRate())
+		rk := rep.RecrashRecoverability()
+		for k := 0; k <= *depth; k++ {
+			if k < len(rk) {
+				row += fmt.Sprintf("  %.3f", rk[k])
+			} else {
+				row += "      -" // no chain reached this depth
+			}
+		}
+		fmt.Printf("%s  %d\n", row, rep.RetriesConsumed())
+	}
+
+	fmt.Println("\nEvery crash of a chain re-draws the volatile cache state dice: a")
+	fmt.Println("trial only recomputes if every one of its recovery attempts starts")
+	fmt.Println("from restorable NVM state, so R(k) decays with k for any policy.")
+	fmt.Println("Persisting the critical objects shrinks what each power loss can")
+	fmt.Println("destroy, so the EasyCrash policy survives every depth at a higher")
+	fmt.Println("rate than the baseline.")
+}

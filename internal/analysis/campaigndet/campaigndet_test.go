@@ -22,3 +22,15 @@ func TestOutOfScope(t *testing.T) {
 		t.Errorf("finding outside campaign scope: %s", f)
 	}
 }
+
+// TestFaultmodelInScope loads the fixture under the fault injector's import
+// path: the injector's RNG stream is replayed across the power losses of a
+// nested-failure chain, so nondeterminism there breaks campaign replay and
+// the analyzer must flag it like campaign code.
+func TestFaultmodelInScope(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "kernel")
+	findings := analysistest.Findings(t, dir, "easycrash/internal/faultmodel/fixture", campaigndet.Analyzer)
+	if len(findings) == 0 {
+		t.Fatal("fixture produced no findings under the faultmodel path; scope does not cover the injector")
+	}
+}

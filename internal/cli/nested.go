@@ -1,0 +1,44 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"time"
+)
+
+// NestedFlags bundles the nested-failure campaign flags (-recrash-depth,
+// -retry-budget, -trial-deadline) that cmd/nvct and cmd/easycrash share, so
+// both binaries register, validate and default them identically.
+type NestedFlags struct {
+	Depth    int
+	Budget   int
+	Deadline time.Duration
+}
+
+// RegisterNestedFlags registers the shared nested-failure flags on fs.
+func RegisterNestedFlags(fs *flag.FlagSet) *NestedFlags {
+	f := &NestedFlags{}
+	fs.IntVar(&f.Depth, "recrash-depth", 0, "max additional crashes during recovery per trial (0: classic single-crash campaign)")
+	fs.IntVar(&f.Budget, "retry-budget", 0, "max recovery attempts per trial (0: recrash-depth+1)")
+	fs.DurationVar(&f.Deadline, "trial-deadline", 0, "wall-clock bound on one trial's whole crash chain (0: none)")
+	return f
+}
+
+// Validate checks the parsed flags for consistency before they are handed to
+// the campaign engine (which re-validates; failing here gives flag-level
+// messages instead).
+func (f *NestedFlags) Validate() error {
+	if f.Depth < 0 {
+		return fmt.Errorf("cli: -recrash-depth must be >= 0, got %d", f.Depth)
+	}
+	if f.Budget < 0 {
+		return fmt.Errorf("cli: -retry-budget must be >= 0, got %d", f.Budget)
+	}
+	if f.Deadline < 0 {
+		return fmt.Errorf("cli: -trial-deadline must be >= 0, got %v", f.Deadline)
+	}
+	if f.Depth == 0 && (f.Budget > 0 || f.Deadline > 0) {
+		return fmt.Errorf("cli: -retry-budget/-trial-deadline need -recrash-depth > 0")
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package cli_test
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"easycrash/internal/cli"
+)
+
+func TestNestedFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		want    cli.NestedFlags
+		wantErr string
+	}{
+		{
+			name: "zero value is the classic campaign",
+			want: cli.NestedFlags{},
+		},
+		{
+			name: "all three pass through",
+			args: []string{"-recrash-depth", "2", "-retry-budget", "3", "-trial-deadline", "2m"},
+			want: cli.NestedFlags{Depth: 2, Budget: 3, Deadline: 2 * time.Minute},
+		},
+		{
+			name: "depth alone defaults the rest",
+			args: []string{"-recrash-depth", "1"},
+			want: cli.NestedFlags{Depth: 1},
+		},
+		{
+			name:    "negative depth rejected",
+			args:    []string{"-recrash-depth", "-1"},
+			wantErr: "-recrash-depth must be >= 0",
+		},
+		{
+			name:    "negative budget rejected",
+			args:    []string{"-recrash-depth", "1", "-retry-budget", "-2"},
+			wantErr: "-retry-budget must be >= 0",
+		},
+		{
+			name:    "negative deadline rejected",
+			args:    []string{"-recrash-depth", "1", "-trial-deadline", "-5s"},
+			wantErr: "-trial-deadline must be >= 0",
+		},
+		{
+			name:    "budget without depth rejected",
+			args:    []string{"-retry-budget", "3"},
+			wantErr: "need -recrash-depth > 0",
+		},
+		{
+			name:    "deadline without depth rejected",
+			args:    []string{"-trial-deadline", "1m"},
+			wantErr: "need -recrash-depth > 0",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := flag.NewFlagSet("test", flag.ContinueOnError)
+			fs.SetOutput(io.Discard)
+			f := cli.RegisterNestedFlags(fs)
+			if err := fs.Parse(tc.args); err != nil {
+				t.Fatalf("parsing %q: %v", tc.args, err)
+			}
+			err := f.Validate()
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("want error containing %q, got %v", tc.wantErr, err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if *f != tc.want {
+				t.Errorf("flags = %+v, want %+v", *f, tc.want)
+			}
+		})
+	}
+}

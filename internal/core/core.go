@@ -24,8 +24,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"easycrash/internal/apps"
 	"easycrash/internal/cachesim"
@@ -71,6 +73,19 @@ type Config struct {
 	// restart path, so a detected-uncorrectable object is re-initialised
 	// instead of aborting the restart.
 	Faults faultmodel.Config
+	// RecrashDepth, when > 0, hardens Step 4: the validation campaign runs
+	// the nested-failure model, where up to RecrashDepth additional crashes
+	// strike the recovery runs themselves. The production policy is then
+	// judged on what survives repeated failures (R(k)), not just one.
+	// Steps 1–3 keep the paper's single-crash model — the selection
+	// statistics are defined over single-crash inconsistency.
+	RecrashDepth int
+	// RetryBudget caps recovery attempts per validation trial when
+	// RecrashDepth > 0; 0 means RecrashDepth+1.
+	RetryBudget int
+	// TrialDeadline bounds each validation trial's whole crash chain;
+	// 0 means no deadline.
+	TrialDeadline time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -154,17 +169,30 @@ func (r *Result) AchievedY() float64 {
 
 // Run executes the full EasyCrash workflow for one kernel.
 func Run(factory apps.Factory, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), factory, cfg)
+}
+
+// RunContext is Run honouring ctx: a cancellation mid-workflow stops the
+// running campaign promptly and returns the partially filled Result (with
+// whatever step reports completed, including the cancelled campaign's
+// partial report) alongside ctx's error.
+func RunContext(ctx context.Context, factory apps.Factory, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	tester, err := nvct.NewTester(factory, cfg.Tester)
 	if err != nil {
 		return nil, err
 	}
-	return RunWithTester(tester, cfg)
+	return RunWithTesterContext(ctx, tester, cfg)
 }
 
 // RunWithTester executes the workflow against an existing tester (whose
 // golden run is reused across experiments).
 func RunWithTester(tester *nvct.Tester, cfg Config) (*Result, error) {
+	return RunWithTesterContext(context.Background(), tester, cfg)
+}
+
+// RunWithTesterContext is RunWithTester honouring ctx (see RunContext).
+func RunWithTesterContext(ctx context.Context, tester *nvct.Tester, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	res := &Result{Kernel: tester.Name(), Golden: tester.Golden(), Frequency: 1}
 	for _, o := range res.Golden.Candidates {
@@ -172,7 +200,11 @@ func RunWithTester(tester *nvct.Tester, cfg Config) (*Result, error) {
 	}
 
 	// Step 1: baseline campaign.
-	res.Baseline = tester.RunCampaign(nil, nvct.CampaignOpts{Tests: cfg.Tests, Seed: cfg.Seed, Faults: cfg.Faults})
+	var err error
+	res.Baseline, err = tester.RunCampaignContext(ctx, nil, nvct.CampaignOpts{Tests: cfg.Tests, Seed: cfg.Seed, Faults: cfg.Faults})
+	if err != nil {
+		return res, err
+	}
 	res.BaselineY = res.Baseline.Recomputability()
 
 	// Step 2: select critical data objects.
@@ -187,7 +219,10 @@ func RunWithTester(tester *nvct.Tester, cfg Config) (*Result, error) {
 
 	// Step 3: region campaigns and selection.
 	best := nvct.EveryRegionPolicy(res.Critical, res.Golden.Regions)
-	res.CriticalEverywhere = tester.RunCampaign(best, nvct.CampaignOpts{Tests: cfg.Tests, Seed: cfg.Seed + 1, Faults: cfg.Faults})
+	res.CriticalEverywhere, err = tester.RunCampaignContext(ctx, best, nvct.CampaignOpts{Tests: cfg.Tests, Seed: cfg.Seed + 1, Faults: cfg.Faults})
+	if err != nil {
+		return res, err
+	}
 	regions, chosen, freq, predicted := SelectRegions(tester.Golden(), res.Baseline, res.CriticalEverywhere, res.Critical, cfg)
 	res.Regions = regions
 	res.Frequency = freq
@@ -212,12 +247,24 @@ func RunWithTester(tester *nvct.Tester, cfg Config) (*Result, error) {
 	// The production runtime restarts with the scrub-and-fallback path:
 	// a poisoned (detected-uncorrectable) object is re-initialised rather
 	// than aborting the restart, so media errors degrade to recomputation
-	// work instead of hard failures.
+	// work instead of hard failures. With cfg.RecrashDepth > 0 the
+	// validation additionally runs the nested-failure model, so the shipped
+	// policy is the one that stays recoverable when the recovery runs (the
+	// scrub fallback included) are themselves interrupted.
 	if res.Policy != nil && !cfg.SkipValidation {
-		prodOpts := nvct.CampaignOpts{Tests: cfg.Tests, Seed: cfg.Seed + 2, Faults: cfg.Faults, ScrubOnRestart: true}
-		res.Final = tester.RunCampaign(res.Policy, prodOpts)
+		prodOpts := nvct.CampaignOpts{
+			Tests: cfg.Tests, Seed: cfg.Seed + 2, Faults: cfg.Faults, ScrubOnRestart: true,
+			RecrashDepth: cfg.RecrashDepth, RetryBudget: cfg.RetryBudget, TrialDeadline: cfg.TrialDeadline,
+		}
+		res.Final, err = tester.RunCampaignContext(ctx, res.Policy, prodOpts)
+		if err != nil {
+			return res, err
+		}
 		if alt := iterationEndPolicy(res, cfg); alt != nil {
-			altRep := tester.RunCampaign(alt, prodOpts)
+			altRep, altErr := tester.RunCampaignContext(ctx, alt, prodOpts)
+			if altErr != nil {
+				return res, altErr
+			}
 			if altRep.Recomputability() > res.Final.Recomputability() {
 				res.Policy = alt
 				res.Final = altRep

@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"easycrash/internal/apps"
@@ -284,5 +286,53 @@ func TestWorkflowWithMediaFaults(t *testing.T) {
 	clean := runWorkflow(t, "mg", core.Config{Tests: 30, Seed: 1})
 	if res.BaselineY > clean.BaselineY {
 		t.Fatalf("media faults improved the baseline: %.3f vs %.3f", res.BaselineY, clean.BaselineY)
+	}
+}
+
+func TestWorkflowValidatesUnderRecrash(t *testing.T) {
+	// Step 4 with a re-crash depth: the production policy is validated under
+	// the nested-failure model (crashes striking the recovery runs, scrub
+	// fallback included) and the validation report carries the R(k) curve.
+	res := runWorkflow(t, "mg", core.Config{
+		Tests: 40, Seed: 1, RecrashDepth: 2,
+		Faults: faultmodel.Config{RBER: 1e-5, TornWrites: true, ECC: faultmodel.SECDED()},
+	})
+	if res.Policy == nil || res.Final == nil {
+		t.Fatal("nested workflow produced no production policy or validation")
+	}
+	// Steps 1-3 keep the single-crash model the selection statistics assume.
+	if res.Baseline.MaxDepth() != 0 || res.CriticalEverywhere.MaxDepth() != 0 {
+		t.Fatal("selection campaigns ran nested chains; they must stay single-crash")
+	}
+	if res.Final.MaxDepth() < 2 {
+		t.Fatalf("validation MaxDepth = %d, want a K=2 chain to engage", res.Final.MaxDepth())
+	}
+	rk := res.Final.RecrashRecoverability()
+	if len(rk) != res.Final.MaxDepth() {
+		t.Fatalf("R(k) has %d entries for MaxDepth %d", len(rk), res.Final.MaxDepth())
+	}
+	if res.Final.Counts[nvct.SErr] != 0 {
+		t.Fatalf("nested validation recorded %d engine errors", res.Final.Counts[nvct.SErr])
+	}
+}
+
+func TestWorkflowContextCancellation(t *testing.T) {
+	// A cancelled workflow returns promptly with the context error and the
+	// partial evidence gathered so far instead of finishing the campaigns.
+	f, err := apps.New("mg", apps.ProfileTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := core.RunContext(ctx, f, core.Config{Tests: 40, Seed: 1})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext error = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled workflow dropped the partial result")
+	}
+	if res.Final != nil {
+		t.Fatal("cancelled-before-start workflow still produced a validation campaign")
 	}
 }

@@ -209,6 +209,7 @@ func (in *Injector) ApplyCrash(img *mem.Image, extent uint64) Injection {
 			flips[base] = append(flips[base], int(bit-base*8))
 		}
 		bases := make([]uint64, 0, len(flips))
+		//eclint:allow campaigndet — key collection, sorted below
 		for b := range flips {
 			bases = append(bases, b)
 		}

@@ -35,6 +35,24 @@ func reportDigest(r *nvct.Report) string {
 		for _, v := range t.FinalResult {
 			fmt.Fprintf(h, "  final=%.17g\n", v)
 		}
+		// Nested-failure fields are folded only when populated, so classic
+		// (depth-0) campaigns keep the exact digests pinned before the
+		// nested engine existed.
+		if t.Depth > 0 {
+			fmt.Fprintf(h, "  depth=%d retries=%d\n", t.Depth, t.Retries)
+			for lvl, c := range t.Chain {
+				fmt.Fprintf(h, "  chain %d: acc=%d reg=%d iter=%d media=%+v\n",
+					lvl, c.Access, c.Region, c.Iter, c.Media)
+			}
+			finals := make([]string, 0, len(t.FinalInconsistency))
+			for name := range t.FinalInconsistency {
+				finals = append(finals, name)
+			}
+			sort.Strings(finals)
+			for _, name := range finals {
+				fmt.Fprintf(h, "  fininc %s=%.17g\n", name, t.FinalInconsistency[name])
+			}
+		}
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }
@@ -48,6 +66,9 @@ const (
 	goldenBaselineDigest = "7ed409760abfd6422fbe87a5d13ef6d9f47c4dc9537976f91446efbb61f0f518"
 	goldenPolicyDigest   = "383faaa9283cf2c5601dcd1aa9af43610f7487115e431f0955c92e07b515401a"
 	goldenFaultsDigest   = "38a95eb3685b005297264bd1a21abb607ba83489d34d2b41c149fe90482983d4"
+
+	goldenNestedDigest       = "c48e0f1df8dd010910f9aa08a9ed110c152cf5808bfd34846b06b3594a4c0301"
+	goldenNestedFaultsDigest = "00186ae9413e09acfc2b949376317d8250afbae403a32942195076b08204f063"
 )
 
 func digestCampaign(t *testing.T, kernel string, policy *nvct.Policy, opts nvct.CampaignOpts) string {
@@ -107,6 +128,39 @@ func TestSeedReplayFaults(t *testing.T) {
 		t.Fatalf("faults campaign differs across parallelism:\n serial   %s\n parallel %s", serial, parallel)
 	}
 	checkGolden(t, serial, goldenFaultsDigest, "faults")
+}
+
+// TestSeedReplayNested: a K=2 nested-failure campaign draws the deeper crash
+// points of every chain from per-trial seeds, so the whole chain structure
+// (depths, retries, re-crash locations, final-crash inconsistency) must
+// replay byte-identically across parallelism.
+func TestSeedReplayNested(t *testing.T) {
+	policy := nvct.IterationPolicy([]string{"u", "scal"})
+	opts := nvct.CampaignOpts{Tests: 30, Seed: 43, Parallel: 1, RecrashDepth: 2}
+	serial := digestCampaign(t, "lu", policy, opts)
+	opts.Parallel = 4
+	parallel := digestCampaign(t, "lu", policy, opts)
+	if serial != parallel {
+		t.Fatalf("nested campaign differs across parallelism:\n serial   %s\n parallel %s", serial, parallel)
+	}
+	checkGolden(t, serial, goldenNestedDigest, "nested")
+}
+
+// TestSeedReplayNestedFaults: nested chains compose with media faults — one
+// injector per trial carries its RNG stream across the chain's power losses,
+// and the scrub path is exercised when deep crashes poison blocks. The whole
+// composition must replay byte-identically too.
+func TestSeedReplayNestedFaults(t *testing.T) {
+	faults := faultmodel.Config{RBER: 2e-6, TornWrites: true, ECC: faultmodel.SECDED()}
+	policy := nvct.IterationPolicy([]string{"u", "scal"})
+	opts := nvct.CampaignOpts{Tests: 30, Seed: 47, Parallel: 1, RecrashDepth: 2, Faults: faults, ScrubOnRestart: true}
+	serial := digestCampaign(t, "lu", policy, opts)
+	opts.Parallel = 4
+	parallel := digestCampaign(t, "lu", policy, opts)
+	if serial != parallel {
+		t.Fatalf("nested+faults campaign differs across parallelism:\n serial   %s\n parallel %s", serial, parallel)
+	}
+	checkGolden(t, serial, goldenNestedFaultsDigest, "nested+faults")
 }
 
 // TestSeedReplayVerifiedFaults: the Verified variant drains the whole dirty

@@ -1,0 +1,191 @@
+// Nested-failure campaigns: crashes during recovery.
+//
+// The paper's campaign model (and runOne) assumes the recovery run executes
+// unmolested — one crash per trial, then an undisturbed restart. Real HPC
+// mean-times-between-failures make failures during recovery routine, and
+// recomputation-based consistency is only trustworthy if it tolerates
+// repeated interruption. runTrial supervises one trial as a crash *chain*:
+// the initial crash, then up to RecrashDepth further crashes striking the
+// recovery attempts themselves, each at a seed-derived demand access of the
+// recomputation. Every recovery attempt is classified — success /
+// wrong-answer / DUE / crashed-again / budget-exhausted — under a per-trial
+// retry budget and wall-clock deadline, and media faults accumulate across
+// the successive power losses through the one injector the trial owns.
+package nvct
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// runTrial executes one supervised nested-failure trial: a crash chain of
+// depth at most opts.RecrashDepth+1. Crash points for every level beyond the
+// first are drawn from a per-trial generator seeded serially from the
+// campaign seed, so nested campaigns replay byte-identically regardless of
+// parallelism. space is the campaign's crash-point space; a deeper point
+// drawn beyond the recovery run's accesses simply never fires, ending the
+// chain naturally.
+func (t *Tester) runTrial(ctx context.Context, policy *Policy, crashAt uint64, faultSeed, trialSeed int64, space uint64, opts CampaignOpts, deadline time.Time, deadlineErr error) TestResult {
+	ps, completed := t.runPhase1(ctx, policy, crashAt, faultSeed, opts, deadline, deadlineErr)
+	if completed != nil {
+		// The drawn point exceeded the initial run's accesses: no crash, no
+		// chain. Depth stays 0 on the classic S1 record.
+		return *completed
+	}
+	res := TestResult{
+		CrashAccess:        ps.crash.Access,
+		CrashRegion:        ps.crash.Region,
+		CrashIter:          ps.crash.Iter,
+		Inconsistency:      ps.inc,
+		Media:              ps.media,
+		Depth:              1,
+		Chain:              []ChainCrash{{Access: ps.crash.Access, Region: ps.crash.Region, Iter: ps.crash.Iter, Media: ps.media}},
+		FinalInconsistency: ps.inc,
+	}
+
+	trng := rand.New(rand.NewSource(trialSeed))
+	budget := opts.RetryBudget
+	if budget <= 0 {
+		budget = opts.RecrashDepth + 1
+	}
+	dump, poison := ps.dump, ps.poison
+	firstIter := ps.crash.Iter // progress when the first power loss hit
+	prevIter := ps.crash.Iter  // progress when the latest power loss hit
+	var work int64             // iterations executed across recovery attempts
+
+	for {
+		if res.Retries >= budget {
+			// The chain still needs another restart but the budget is
+			// spent: the application never reached a terminal state.
+			res.Outcome = S3
+			res.Err = ErrRetryBudgetExhausted.Error()
+			break
+		}
+		res.Retries++
+		// Arm the next level of the chain while depth remains; the final
+		// allowed attempt runs unarmed, exactly like a classic restart.
+		var arm uint64
+		if res.Depth <= opts.RecrashDepth {
+			arm = 1 + uint64(trng.Int63n(int64(space)))
+		}
+		st := t.restartOnce(ctx, dump, poison, prevIter, opts.ScrubOnRestart, deadline, deadlineErr, arm, ps.inj, opts.Verified)
+		res.ScrubbedObjects += st.scrubbed
+		if st.crash != nil {
+			// Crashed again: record the level and restart from the new
+			// durable state the failing media left behind.
+			res.Depth++
+			res.Chain = append(res.Chain, ChainCrash{Access: st.crash.Access, Region: st.crash.Region, Iter: st.crash.Iter, Media: st.media})
+			res.FinalInconsistency = st.inc
+			work += st.crash.Iter - st.from
+			dump, poison = st.dump, st.poison
+			prevIter = st.crash.Iter
+			continue
+		}
+		res.Outcome = st.outcome
+		res.FinalResult = st.final
+		switch st.outcome {
+		case S1, S2, S4:
+			// Extra iterations of the whole chain: recovery work executed
+			// beyond what remained when the first crash hit. Redone
+			// iterations from lost bookmarks and convergence surplus both
+			// land here; for a depth-1 chain it reduces to the classic
+			// formula.
+			extra := work + st.executed - (t.golden.Iters - firstIter)
+			if extra < 0 {
+				extra = 0
+			}
+			res.ExtraIters = extra
+			if st.outcome != S4 {
+				res.Outcome = S1
+				if extra > 0 {
+					res.Outcome = S2
+				}
+			}
+		}
+		break
+	}
+	return res
+}
+
+// MaxDepth returns the deepest crash chain observed in the campaign. It is 0
+// for classic single-crash campaigns, whose tests carry no chain records.
+func (r *Report) MaxDepth() int {
+	depth := 0
+	for _, t := range r.Tests {
+		if t.Depth > depth {
+			depth = t.Depth
+		}
+	}
+	return depth
+}
+
+// RecrashRecoverability returns recoverability under re-crash, R(k) for
+// k = 1..MaxDepth: among the trials whose chain reached at least k crashes,
+// the fraction that ultimately recomputed successfully (S1 or S2). R(1) is
+// the campaign-wide success rate; deeper chains can only lose more volatile
+// state, so R(k) decays with k. nil for classic campaigns.
+func (r *Report) RecrashRecoverability() []float64 {
+	maxd := r.MaxDepth()
+	if maxd == 0 {
+		return nil
+	}
+	atLeast := make([]int, maxd+1)
+	succ := make([]int, maxd+1)
+	for _, t := range r.Tests {
+		for k := 1; k <= t.Depth; k++ {
+			atLeast[k]++
+			if t.Success() {
+				succ[k]++
+			}
+		}
+	}
+	out := make([]float64, maxd)
+	for k := 1; k <= maxd; k++ {
+		out[k-1] = float64(succ[k]) / float64(atLeast[k])
+	}
+	return out
+}
+
+// DepthCounts returns how many trials reached each chain depth (index k =
+// exactly k crashes; index 0 counts trials whose drawn point never fired).
+func (r *Report) DepthCounts() []int {
+	out := make([]int, r.MaxDepth()+1)
+	for _, t := range r.Tests {
+		out[t.Depth]++
+	}
+	return out
+}
+
+// RetriesConsumed totals the recovery attempts the campaign's trials spent.
+func (r *Report) RetriesConsumed() int {
+	total := 0
+	for _, t := range r.Tests {
+		total += t.Retries
+	}
+	return total
+}
+
+// MeanFinalInconsistency averages, per candidate object, the data-
+// inconsistency rate at the final crash of each chain — the state the last
+// recovery attempt actually restarted from. nil for classic campaigns.
+func (r *Report) MeanFinalInconsistency() map[string]float64 {
+	sums := make(map[string]float64)
+	counts := make(map[string]int)
+	for _, t := range r.Tests {
+		//eclint:allow campaigndet — one accumulation per name per test; each name's sum follows Tests order
+		for name, rate := range t.FinalInconsistency {
+			sums[name] += rate
+			counts[name]++
+		}
+	}
+	if len(sums) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(sums))
+	//eclint:allow campaigndet — independent per-key division, order-insensitive
+	for name, sum := range sums {
+		out[name] = sum / float64(counts[name])
+	}
+	return out
+}

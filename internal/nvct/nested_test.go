@@ -1,0 +1,188 @@
+package nvct_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"easycrash/internal/faultmodel"
+	"easycrash/internal/nvct"
+)
+
+// A nested campaign must bound every chain by RecrashDepth: Depth in
+// [1, K+1], a chain entry per crash, and a retry per recovery attempt.
+func TestNestedCampaignDepthBounds(t *testing.T) {
+	tt := tester(t, "mg")
+	const depth = 2
+	rep := tt.RunCampaign(nil, nvct.CampaignOpts{Tests: 40, Seed: 11, RecrashDepth: depth})
+	if len(rep.Tests) != 40 {
+		t.Fatalf("got %d tests", len(rep.Tests))
+	}
+	deeper := 0
+	for i, tr := range rep.Tests {
+		if tr.Depth < 1 || tr.Depth > depth+1 {
+			t.Fatalf("test %d: chain depth %d outside [1, %d]", i, tr.Depth, depth+1)
+		}
+		if len(tr.Chain) != tr.Depth {
+			t.Fatalf("test %d: %d chain entries for depth %d", i, len(tr.Chain), tr.Depth)
+		}
+		if tr.Chain[0].Access != tr.CrashAccess || tr.Chain[0].Iter != tr.CrashIter {
+			t.Fatalf("test %d: Chain[0] %+v does not repeat the initial crash (%d, iter %d)",
+				i, tr.Chain[0], tr.CrashAccess, tr.CrashIter)
+		}
+		if tr.Retries < 1 || tr.Retries > depth+1 {
+			t.Fatalf("test %d: %d retries for depth %d", i, tr.Retries, tr.Depth)
+		}
+		if len(tr.FinalInconsistency) == 0 {
+			t.Fatalf("test %d: no final-crash inconsistency recorded", i)
+		}
+		if tr.Depth > 1 {
+			deeper++
+		}
+	}
+	if deeper == 0 {
+		t.Fatal("no trial crashed during recovery; nested model never engaged")
+	}
+	if got := rep.MaxDepth(); got < 2 || got > depth+1 {
+		t.Fatalf("MaxDepth = %d", got)
+	}
+	if got, want := rep.RetriesConsumed(), len(rep.Tests); got < want {
+		t.Fatalf("RetriesConsumed = %d, want >= %d", got, want)
+	}
+}
+
+// R(k) is a survival curve over chain depth: defined for k = 1..MaxDepth,
+// within [0, 1]. (Monotone decay is asserted on the example sweep, where the
+// campaign is large enough for the estimate to settle.)
+func TestRecrashRecoverability(t *testing.T) {
+	tt := tester(t, "mg")
+	rep := tt.RunCampaign(nvct.IterationPolicy([]string{"u", "r"}),
+		nvct.CampaignOpts{Tests: 60, Seed: 3, RecrashDepth: 2})
+	rk := rep.RecrashRecoverability()
+	if len(rk) != rep.MaxDepth() {
+		t.Fatalf("len(R) = %d, MaxDepth = %d", len(rk), rep.MaxDepth())
+	}
+	for k, r := range rk {
+		if r < 0 || r > 1 {
+			t.Fatalf("R(%d) = %v outside [0,1]", k+1, r)
+		}
+	}
+	if mean := rep.MeanFinalInconsistency(); len(mean) == 0 {
+		t.Fatal("MeanFinalInconsistency empty for a nested campaign")
+	}
+	// Classic campaigns expose none of the nested metrics.
+	classic := tt.RunCampaign(nil, nvct.CampaignOpts{Tests: 5, Seed: 3})
+	if classic.MaxDepth() != 0 || classic.RecrashRecoverability() != nil ||
+		classic.RetriesConsumed() != 0 || classic.MeanFinalInconsistency() != nil {
+		t.Fatal("classic campaign leaked nested metrics")
+	}
+}
+
+// A retry budget below what the chain needs must terminate the trial as an
+// interruption carrying ErrRetryBudgetExhausted, never exceeding the budget.
+func TestRetryBudgetExhaustion(t *testing.T) {
+	tt := tester(t, "mg")
+	rep := tt.RunCampaign(nil, nvct.CampaignOpts{Tests: 40, Seed: 11, RecrashDepth: 2, RetryBudget: 1})
+	exhausted := 0
+	for i, tr := range rep.Tests {
+		if tr.Retries > 1 {
+			t.Fatalf("test %d: consumed %d retries under budget 1", i, tr.Retries)
+		}
+		if tr.Err == nvct.ErrRetryBudgetExhausted.Error() {
+			exhausted++
+			if tr.Outcome != nvct.S3 {
+				t.Fatalf("test %d: budget exhaustion classified %v, want S3", i, tr.Outcome)
+			}
+			if tr.Depth < 2 {
+				t.Fatalf("test %d: budget exhausted on a depth-%d chain", i, tr.Depth)
+			}
+		}
+	}
+	if exhausted == 0 {
+		t.Fatal("no trial exhausted a budget of 1 under depth 2; seed too tame for the test premise")
+	}
+	// Same campaign with a roomy budget: no exhaustion, strictly fewer S3s.
+	roomy := tt.RunCampaign(nil, nvct.CampaignOpts{Tests: 40, Seed: 11, RecrashDepth: 2, RetryBudget: 3})
+	for i, tr := range roomy.Tests {
+		if tr.Err == nvct.ErrRetryBudgetExhausted.Error() {
+			t.Fatalf("test %d: budget 3 exhausted on a depth-2 campaign", i)
+		}
+	}
+	if roomy.Counts[nvct.S3] >= rep.Counts[nvct.S3] && rep.Counts[nvct.S3] > 0 {
+		t.Fatalf("S3 did not drop with budget: %d (budget 3) vs %d (budget 1)",
+			roomy.Counts[nvct.S3], rep.Counts[nvct.S3])
+	}
+}
+
+// An unmeetable trial deadline must classify trials SErr with the named
+// ErrTrialDeadline, not hang or kill the campaign.
+func TestTrialDeadline(t *testing.T) {
+	tt := tester(t, "mg")
+	rep := tt.RunCampaign(nil, nvct.CampaignOpts{
+		Tests: 4, Seed: 5, RecrashDepth: 1, TrialDeadline: time.Nanosecond,
+	})
+	if len(rep.Tests) != 4 {
+		t.Fatalf("got %d tests", len(rep.Tests))
+	}
+	for i, tr := range rep.Tests {
+		if tr.Outcome != nvct.SErr {
+			t.Fatalf("test %d: outcome %v under a 1ns trial deadline, want ERR", i, tr.Outcome)
+		}
+		if !strings.Contains(tr.Err, nvct.ErrTrialDeadline.Error()) {
+			t.Fatalf("test %d: Err = %q, want it to carry %q", i, tr.Err, nvct.ErrTrialDeadline)
+		}
+	}
+}
+
+// Invalid nested options are campaign setup errors, not silent clamps.
+func TestNestedOptionValidation(t *testing.T) {
+	tt := tester(t, "mg")
+	cases := []struct {
+		name string
+		opts nvct.CampaignOpts
+	}{
+		{"negative depth", nvct.CampaignOpts{Tests: 1, RecrashDepth: -1}},
+		{"negative budget", nvct.CampaignOpts{Tests: 1, RetryBudget: -2}},
+		{"negative deadline", nvct.CampaignOpts{Tests: 1, TrialDeadline: -time.Second}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := tt.RunCampaignContext(context.Background(), nil, tc.opts)
+			if err == nil || rep != nil {
+				t.Fatalf("RunCampaignContext = (%v, %v), want nil report and an error", rep, err)
+			}
+		})
+	}
+}
+
+// Nested chains compose with the media-fault layer: faults accumulate across
+// the chain's power losses through one injector, and the scrub-and-fallback
+// path keeps the campaign classifiable even when the fallback run is itself
+// interrupted by a deeper crash.
+func TestNestedFaultsAccumulate(t *testing.T) {
+	tt := tester(t, "mg")
+	faults := faultmodel.Config{TornWrites: true, RBER: 5e-5, ECC: faultmodel.SECDED()}
+	rep := tt.RunCampaign(nvct.IterationPolicy([]string{"u", "r"}), nvct.CampaignOpts{
+		Tests: 50, Seed: 19, RecrashDepth: 2, Faults: faults, ScrubOnRestart: true,
+	})
+	if len(rep.Tests) != 50 {
+		t.Fatalf("got %d tests", len(rep.Tests))
+	}
+	deepFaulted := 0
+	for i, tr := range rep.Tests {
+		if tr.Outcome == nvct.SErr {
+			t.Fatalf("test %d: engine error %q in a scrubbed fault campaign", i, tr.Err)
+		}
+		for lvl, c := range tr.Chain {
+			touched := c.Media.CorrectedBlocks > 0 || c.Media.PoisonedBlocks > 0 ||
+				c.Media.SilentBlocks > 0 || c.Media.TornWords > 0
+			if lvl > 0 && touched {
+				deepFaulted++
+			}
+		}
+	}
+	if deepFaulted == 0 {
+		t.Fatal("no media faults recorded at re-crash levels; injector not composing with the chain")
+	}
+}

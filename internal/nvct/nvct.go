@@ -228,10 +228,44 @@ type TestResult struct {
 	Media faultmodel.Injection
 	// ScrubbedObjects counts objects (including the iterator bookmark) the
 	// scrub-and-fallback restart path re-initialised because their blocks
-	// were poisoned.
+	// were poisoned. In a nested-failure trial it totals scrubs across all
+	// recovery attempts.
 	ScrubbedObjects int
-	// Err holds the engine error behind an SErr outcome.
+	// Err holds the engine error behind an SErr outcome (or the named
+	// failure mode behind a budget-exhausted S3).
 	Err string
+
+	// The remaining fields are populated only by nested-failure campaigns
+	// (CampaignOpts.RecrashDepth > 0); classic campaigns leave them zero so
+	// their reports stay byte-identical to the single-crash engine.
+
+	// Depth is the number of crashes in this trial's chain (>= 1): the
+	// initial crash plus every crash that struck a recovery attempt.
+	Depth int
+	// Retries is the number of recovery attempts the trial consumed.
+	Retries int
+	// Chain records every crash of the chain in order; Chain[0] repeats the
+	// initial crash (CrashAccess/CrashRegion/CrashIter/Media above).
+	// Accesses of re-crashes count from the start of their recovery run.
+	Chain []ChainCrash
+	// FinalInconsistency is the per-candidate data-inconsistency rate at
+	// the *final* crash of the chain — the state the successful (or failed)
+	// last recovery actually started from.
+	FinalInconsistency map[string]float64
+}
+
+// ChainCrash is one crash of a nested-failure trial's chain.
+type ChainCrash struct {
+	// Access is the demand-access index at which the crash fired, counted
+	// from the start of the run it interrupted (the initial run for the
+	// first entry, the recovery run for later ones).
+	Access uint64
+	// Region and Iter locate the crash in the kernel's main loop.
+	Region int
+	Iter   int64
+	// Media summarises the media faults injected at this power loss; faults
+	// accumulate on the image across the chain through one injector.
+	Media faultmodel.Injection
 }
 
 // Success reports whether the application recomputed (S1 or S2).
@@ -503,11 +537,39 @@ type CampaignOpts struct {
 	// it is recorded as an SErr result and the campaign continues. 0 means
 	// no per-test deadline.
 	TestTimeout time.Duration
+	// RecrashDepth enables the nested-failure model: up to RecrashDepth
+	// additional crashes may fire during recovery, so one trial becomes a
+	// crash chain of depth at most RecrashDepth+1. Crash points for every
+	// level of the chain are derived from the campaign seed, so nested
+	// campaigns replay byte-identically. 0 is the classic single-crash
+	// campaign (the paper's model) and reproduces its results exactly.
+	RecrashDepth int
+	// RetryBudget caps the recovery attempts one trial may consume when
+	// RecrashDepth > 0. A trial that still needs another restart once the
+	// budget is spent is classified S3 with ErrRetryBudgetExhausted
+	// recorded. 0 means RecrashDepth+1 — enough to finish any chain.
+	RetryBudget int
+	// TrialDeadline bounds one trial's whole crash chain (all phases); a
+	// trial exceeding it is recorded as SErr with ErrTrialDeadline and the
+	// campaign continues. 0 means no trial deadline.
+	TrialDeadline time.Duration
 }
 
 // errTestTimeout marks a per-test deadline abort so it can be told apart
 // from a campaign-wide cancellation.
 var errTestTimeout = errors.New("nvct: per-test deadline exceeded")
+
+// ErrRetryBudgetExhausted reports a nested-failure trial whose recovery kept
+// crashing until the per-trial retry budget was spent: the application never
+// reached a terminal classification, so the trial is recorded as S3 with
+// this error. Test with errors.Is against TestResult-carried strings via
+// Report helpers, or directly on campaign setup errors.
+var ErrRetryBudgetExhausted = errors.New("nvct: retry budget exhausted before recovery completed")
+
+// ErrTrialDeadline reports a trial that exceeded its wall-clock deadline
+// (CampaignOpts.TrialDeadline) somewhere in its crash chain. The trial is
+// recorded as SErr and the campaign continues. Test with errors.Is.
+var ErrTrialDeadline = errors.New("nvct: trial deadline exceeded")
 
 // ErrEmptyCrashSpace reports a campaign whose crash-point space is empty:
 // the kernel's main loop issued zero crash-eligible accesses (or the
@@ -536,6 +598,15 @@ func (t *Tester) RunCampaign(policy *Policy, opts CampaignOpts) *Report {
 func (t *Tester) RunCampaignContext(ctx context.Context, policy *Policy, opts CampaignOpts) (*Report, error) {
 	if err := opts.Faults.Validate(); err != nil {
 		return nil, err
+	}
+	if opts.RecrashDepth < 0 {
+		return nil, fmt.Errorf("nvct: negative re-crash depth %d", opts.RecrashDepth)
+	}
+	if opts.RetryBudget < 0 {
+		return nil, fmt.Errorf("nvct: negative retry budget %d", opts.RetryBudget)
+	}
+	if opts.TrialDeadline < 0 {
+		return nil, fmt.Errorf("nvct: negative trial deadline %v", opts.TrialDeadline)
 	}
 	if opts.Tests <= 0 {
 		opts.Tests = 100
@@ -588,6 +659,23 @@ func (t *Tester) RunCampaignContext(ctx context.Context, policy *Policy, opts Ca
 		}
 		return faultSeeds[i]
 	}
+	// Per-trial seeds drive the crash points of every deeper level of a
+	// nested-failure chain. They are drawn serially after the fault seeds,
+	// so nested campaigns are deterministic across Parallel settings and a
+	// depth-0 campaign draws exactly the sequence it always did.
+	var trialSeeds []int64
+	if opts.RecrashDepth > 0 {
+		trialSeeds = make([]int64, opts.Tests)
+		for i := range trialSeeds {
+			trialSeeds[i] = rng.Int63()
+		}
+	}
+	trialSeedAt := func(i int) int64 {
+		if trialSeeds == nil {
+			return 0
+		}
+		return trialSeeds[i]
+	}
 
 	rep := &Report{
 		Kernel:    t.name,
@@ -598,7 +686,7 @@ func (t *Tester) RunCampaignContext(ctx context.Context, policy *Policy, opts Ca
 	}
 	done := make([]bool, opts.Tests)
 	runIdx := func(i int) {
-		res, keep := t.runOneIsolated(ctx, policy, points[i], seedAt(i), opts)
+		res, keep := t.runOneIsolated(ctx, policy, points[i], seedAt(i), trialSeedAt(i), space, opts)
 		if keep {
 			rep.Tests[i] = res
 			done[i] = true
@@ -649,23 +737,32 @@ func (t *Tester) RunCampaignContext(ctx context.Context, policy *Policy, opts Ca
 	return rep, ctx.Err()
 }
 
-// runOneIsolated runs one crash test, containing any panic that escapes the
-// simulated crash protocol: a panicking kernel factory or a test that blows
-// its deadline becomes one SErr result instead of killing the worker pool.
-// keep is false only when the campaign context itself was cancelled — the
-// half-finished test is then discarded from the partial report.
-func (t *Tester) runOneIsolated(ctx context.Context, policy *Policy, crashAt uint64, faultSeed int64, opts CampaignOpts) (res TestResult, keep bool) {
+// runOneIsolated runs one crash test (a whole crash chain in nested mode),
+// containing any panic that escapes the simulated crash protocol: a
+// panicking kernel factory or a test that blows its deadline becomes one
+// SErr result instead of killing the worker pool. keep is false only when
+// the campaign context itself was cancelled — the half-finished test is then
+// discarded from the partial report.
+func (t *Tester) runOneIsolated(ctx context.Context, policy *Policy, crashAt uint64, faultSeed, trialSeed int64, space uint64, opts CampaignOpts) (res TestResult, keep bool) {
 	var deadline time.Time
+	deadlineErr := errTestTimeout
 	if opts.TestTimeout > 0 {
 		//eclint:allow campaigndet — operator watchdog for runaway tests, not part of replayed state
 		deadline = time.Now().Add(opts.TestTimeout)
+	}
+	if opts.TrialDeadline > 0 {
+		//eclint:allow campaigndet — wall-clock bound on a trial's crash chain, not part of replayed state
+		if d := time.Now().Add(opts.TrialDeadline); deadline.IsZero() || d.Before(deadline) {
+			deadline, deadlineErr = d, ErrTrialDeadline
+		}
 	}
 	defer func() {
 		r := recover()
 		if r == nil {
 			return
 		}
-		if a, ok := r.(*sim.Abort); ok && !errors.Is(a.Err, errTestTimeout) {
+		if a, ok := r.(*sim.Abort); ok &&
+			!errors.Is(a.Err, errTestTimeout) && !errors.Is(a.Err, ErrTrialDeadline) {
 			// Campaign cancellation, not a per-test failure.
 			res, keep = TestResult{}, false
 			return
@@ -678,13 +775,17 @@ func (t *Tester) runOneIsolated(ctx context.Context, policy *Policy, crashAt uin
 		}
 		keep = true
 	}()
-	return t.runOne(ctx, policy, crashAt, faultSeed, opts, deadline), true
+	if opts.RecrashDepth > 0 {
+		return t.runTrial(ctx, policy, crashAt, faultSeed, trialSeed, space, opts, deadline, deadlineErr), true
+	}
+	return t.runOne(ctx, policy, crashAt, faultSeed, opts, deadline, deadlineErr), true
 }
 
-// setInterrupt wires campaign cancellation and the per-test deadline into a
-// machine's interrupt check. It installs nothing when neither applies, so
-// the default path stays hook-free.
-func setInterrupt(ctx context.Context, m *sim.Machine, deadline time.Time) {
+// setInterrupt wires campaign cancellation and the per-test (or per-trial)
+// deadline into a machine's interrupt check; deadlineErr is the named error
+// delivered when the deadline passes. It installs nothing when neither
+// applies, so the default path stays hook-free.
+func setInterrupt(ctx context.Context, m *sim.Machine, deadline time.Time, deadlineErr error) {
 	if ctx.Done() == nil && deadline.IsZero() {
 		return
 	}
@@ -696,7 +797,7 @@ func setInterrupt(ctx context.Context, m *sim.Machine, deadline time.Time) {
 		}
 		//eclint:allow campaigndet — deadline check for the same operator watchdog
 		if !deadline.IsZero() && time.Now().After(deadline) {
-			return errTestTimeout
+			return deadlineErr
 		}
 		return nil
 	})
@@ -719,10 +820,24 @@ func (t *Tester) profileTicks(policy *Policy) (uint64, error) {
 	return m.MainAccesses(), nil
 }
 
-// runOne executes a single crash-and-restart test.
-func (t *Tester) runOne(ctx context.Context, policy *Policy, crashAt uint64, faultSeed int64, opts CampaignOpts, deadline time.Time) TestResult {
-	verified := opts.Verified
-	// Phase 1: run until the crash fires.
+// phase1State carries the postmortem of a fired crash into the recovery
+// phase(s): the durable dump as the failing media left it, the poisoned
+// block set, the crash itself, and the injector — owned by the whole trial,
+// so media faults accumulate across the crashes of a nested chain.
+type phase1State struct {
+	crash  *sim.Crash
+	inc    map[string]float64
+	media  faultmodel.Injection
+	dump   []byte
+	poison map[uint64]struct{}
+	inj    *faultmodel.Injector
+}
+
+// runPhase1 runs the initial life of a crash test until the armed crash
+// fires, then takes the postmortem. When the crash point exceeded the run's
+// accesses (cannot happen when the policy does not change demand traffic),
+// it returns the completed test as an S1 result instead.
+func (t *Tester) runPhase1(ctx context.Context, policy *Policy, crashAt uint64, faultSeed int64, opts CampaignOpts, deadline time.Time, deadlineErr error) (phase1State, *TestResult) {
 	k := t.factory()
 	m := t.getMachine()
 	k.Setup(m)
@@ -737,14 +852,12 @@ func (t *Tester) runOne(ctx context.Context, policy *Policy, crashAt uint64, fau
 	}
 	m.SetPersister(newPolicyPersister(m, k, policy))
 	m.SetCrashAfter(crashAt)
-	setInterrupt(ctx, m, deadline)
+	setInterrupt(ctx, m, deadline, deadlineErr)
 
 	crash := t.runToCrash(k, m)
 	if crash == nil {
-		// The crash point exceeded this run's accesses (cannot happen when
-		// the policy does not change demand traffic); treat as S1.
 		t.putMachine(m)
-		return TestResult{CrashAccess: crashAt, CrashRegion: sim.NoRegion, Outcome: S1}
+		return phase1State{}, &TestResult{CrashAccess: crashAt, CrashRegion: sim.NoRegion, Outcome: S1}
 	}
 
 	// Postmortem: per-candidate inconsistency, then the durable dump. The
@@ -754,19 +867,14 @@ func (t *Tester) runOne(ctx context.Context, policy *Policy, crashAt uint64, fau
 	for _, o := range t.golden.Candidates {
 		inc[o.Name] = m.InconsistencyRate(o)
 	}
-	if verified {
+	if opts.Verified {
 		m.Hierarchy().WriteBackAll()
 	}
 	var media faultmodel.Injection
 	var poison map[uint64]struct{}
 	if inj != nil {
 		media = m.CrashWithFaults()
-		if media.PoisonedBlocks > 0 {
-			poison = make(map[uint64]struct{}, media.PoisonedBlocks)
-			for _, b := range m.Image().PoisonedBlocks() {
-				poison[b] = struct{}{}
-			}
-		}
+		poison = poisonSet(media, m)
 	} else {
 		m.CrashNow()
 	}
@@ -774,21 +882,43 @@ func (t *Tester) runOne(ctx context.Context, policy *Policy, crashAt uint64, fau
 	// Phase 1 is done with the machine; the restart phase (usually on the
 	// same worker) picks it straight back up from the pool.
 	t.putMachine(m)
+	return phase1State{crash: crash, inc: inc, media: media, dump: dump, poison: poison, inj: inj}, nil
+}
 
+// poisonSet collects the image's detected-uncorrectable blocks after an
+// injection, as the lookup the restart path probes objects against.
+func poisonSet(media faultmodel.Injection, m *sim.Machine) map[uint64]struct{} {
+	if media.PoisonedBlocks == 0 {
+		return nil
+	}
+	poison := make(map[uint64]struct{}, media.PoisonedBlocks)
+	for _, b := range m.Image().PoisonedBlocks() {
+		poison[b] = struct{}{}
+	}
+	return poison
+}
+
+// runOne executes a single crash-and-restart test (the classic single-crash
+// model; nested chains run through runTrial).
+func (t *Tester) runOne(ctx context.Context, policy *Policy, crashAt uint64, faultSeed int64, opts CampaignOpts, deadline time.Time, deadlineErr error) TestResult {
+	ps, completed := t.runPhase1(ctx, policy, crashAt, faultSeed, opts, deadline, deadlineErr)
+	if completed != nil {
+		return *completed
+	}
 	res := TestResult{
-		CrashAccess:   crash.Access,
-		CrashRegion:   crash.Region,
-		CrashIter:     crash.Iter,
-		Inconsistency: inc,
-		Media:         media,
+		CrashAccess:   ps.crash.Access,
+		CrashRegion:   ps.crash.Region,
+		CrashIter:     ps.crash.Iter,
+		Inconsistency: ps.inc,
+		Media:         ps.media,
 	}
 
 	// Phase 2: restart from the dump.
-	outcome, extra, final, scrubbed := t.restart(ctx, dump, poison, crash.Iter, opts.ScrubOnRestart, deadline)
-	res.Outcome = outcome
-	res.ExtraIters = extra
-	res.FinalResult = final
-	res.ScrubbedObjects = scrubbed
+	st := t.restartOnce(ctx, ps.dump, ps.poison, ps.crash.Iter, opts.ScrubOnRestart, deadline, deadlineErr, 0, nil, false)
+	res.Outcome = st.outcome
+	res.ExtraIters = st.extra
+	res.FinalResult = st.final
+	res.ScrubbedObjects = st.scrubbed
 	return res
 }
 
@@ -809,19 +939,45 @@ func (t *Tester) runToCrash(k apps.Kernel, m *sim.Machine) (crash *sim.Crash) {
 	return nil
 }
 
-// restart re-initialises the application, reloads persisted objects from
+// attemptResult is the outcome of one recovery attempt. Either the attempt
+// reached a terminal classification (crash == nil: outcome, extra, final,
+// executed are valid) or an armed re-crash fired mid-recomputation (crash
+// != nil: media, dump, poison and inc describe the new power-loss state the
+// next attempt must restart from).
+type attemptResult struct {
+	outcome  Outcome
+	extra    int64
+	final    []float64
+	executed int64
+	scrubbed int
+	from     int64 // iteration the attempt resumed at
+
+	crash  *sim.Crash
+	media  faultmodel.Injection
+	dump   []byte
+	poison map[uint64]struct{}
+	inc    map[string]float64
+}
+
+// restartOnce re-initialises the application, reloads persisted objects from
 // the dump (Figure 2b), resumes the main loop at the bookmarked iteration,
 // and classifies the outcome. poison carries the detected-uncorrectable
 // blocks of the crashed image: touching one aborts the restart with SDue
 // unless the scrub-and-fallback path is enabled, in which case the poisoned
 // object is re-initialised instead of restored (and a poisoned bookmark
 // falls back to iteration 0, counting the redone iterations as extra).
-func (t *Tester) restart(ctx context.Context, dump []byte, poison map[uint64]struct{}, crashIter int64, scrub bool, deadline time.Time) (Outcome, int64, []float64, int) {
+//
+// arm > 0 arms a crash at the arm-th demand access of the recovery run (the
+// nested-failure model); inj, when non-nil, is re-attached so the re-crash
+// composes with the media-fault layer and faults accumulate across the
+// chain. verified applies the copy-based verification drain before a
+// re-crash dump, mirroring phase 1.
+func (t *Tester) restartOnce(ctx context.Context, dump []byte, poison map[uint64]struct{}, crashIter int64, scrub bool, deadline time.Time, deadlineErr error, arm uint64, inj *faultmodel.Injector, verified bool) attemptResult {
 	k := t.factory()
 	m := t.getMachine()
 	defer t.putMachine(m)
 	k.Setup(m)
-	setInterrupt(ctx, m, deadline)
+	setInterrupt(ctx, m, deadline, deadlineErr)
 
 	// Read the bookmarked iteration from the dump — unless its blocks are
 	// poisoned, in which case the durable bookmark is unreadable.
@@ -831,7 +987,7 @@ func (t *Tester) restart(ctx context.Context, dump []byte, poison map[uint64]str
 	bookmarkLost := overlapsPoison(itObj, poison)
 	if bookmarkLost {
 		if !scrub {
-			return SDue, 0, nil, 0
+			return attemptResult{outcome: SDue}
 		}
 		scrubbed++ // fall back to iteration 0
 	} else {
@@ -839,7 +995,7 @@ func (t *Tester) restart(ctx context.Context, dump []byte, poison map[uint64]str
 		if from < 0 || from > t.golden.Iters {
 			// A corrupted bookmark: the restarted process would index past
 			// its data — the segfault case.
-			return S3, 0, nil, 0
+			return attemptResult{outcome: S3}
 		}
 	}
 
@@ -847,7 +1003,7 @@ func (t *Tester) restart(ctx context.Context, dump []byte, poison map[uint64]str
 	for _, o := range m.Space().Candidates() {
 		if overlapsPoison(o, poison) {
 			if !scrub {
-				return SDue, 0, nil, scrubbed
+				return attemptResult{outcome: SDue, scrubbed: scrubbed, from: from}
 			}
 			scrubbed++ // keep the freshly initialised values
 			continue
@@ -858,11 +1014,40 @@ func (t *Tester) restart(ctx context.Context, dump []byte, poison map[uint64]str
 	if r, ok := k.(Restarter); ok {
 		r.PostRestart(m, from)
 	}
+	if arm > 0 {
+		// Re-arm after the restore/scrub phase: the crash clock counts
+		// demand accesses of the recomputation only, and restore-phase
+		// write-backs are settled, not in flight.
+		if inj != nil {
+			m.AttachFaults(inj)
+		}
+		m.RearmCrash(arm)
+	}
 
 	budget := int64(float64(t.golden.Iters) * t.cfg.MaxIterFactor)
-	executed, err, interrupted := t.runRestart(k, m, from, budget)
+	executed, crash, err, interrupted := t.runRecovery(k, m, from, budget, arm > 0)
+	if crash != nil {
+		// The recovery itself lost power: take the same postmortem phase 1
+		// takes, and hand the next attempt the new durable state.
+		res := attemptResult{scrubbed: scrubbed, from: from, crash: crash}
+		res.inc = make(map[string]float64, len(t.golden.Candidates))
+		for _, o := range t.golden.Candidates {
+			res.inc[o.Name] = m.InconsistencyRate(o)
+		}
+		if verified {
+			m.Hierarchy().WriteBackAll()
+		}
+		if inj != nil {
+			res.media = m.CrashWithFaults()
+			res.poison = poisonSet(res.media, m)
+		} else {
+			m.CrashNow()
+		}
+		res.dump = m.Image().Snapshot()
+		return res
+	}
 	if interrupted || err != nil {
-		return S3, 0, nil, scrubbed
+		return attemptResult{outcome: S3, scrubbed: scrubbed, from: from}
 	}
 	total := from + executed
 	extra := total - t.golden.Iters
@@ -874,14 +1059,16 @@ func (t *Tester) restart(ctx context.Context, dump []byte, poison map[uint64]str
 		// scrub fallback paid for losing the bookmark.
 		extra += crashIter
 	}
-	final := k.Result(m)
-	if !k.Verify(m, t.golden.Result) {
-		return S4, extra, final, scrubbed
+	res := attemptResult{extra: extra, final: k.Result(m), executed: executed, scrubbed: scrubbed, from: from}
+	switch {
+	case !k.Verify(m, t.golden.Result):
+		res.outcome = S4
+	case extra > 0:
+		res.outcome = S2
+	default:
+		res.outcome, res.extra = S1, 0
 	}
-	if extra > 0 {
-		return S2, extra, final, scrubbed
-	}
-	return S1, 0, final, scrubbed
+	return res
 }
 
 // overlapsPoison reports whether any cache block of the object is in the
@@ -898,14 +1085,20 @@ func overlapsPoison(o mem.Object, poison map[uint64]struct{}) bool {
 	return false
 }
 
-// runRestart runs the restarted main loop, converting runtime panics from
-// corrupted state (index out of range and friends) into interruptions.
-// Crash and abort panics belong to the campaign engine and are re-thrown.
-func (t *Tester) runRestart(k apps.Kernel, m *sim.Machine, from, budget int64) (executed int64, err error, interrupted bool) {
+// runRecovery runs the restarted main loop, converting runtime panics from
+// corrupted state (index out of range and friends) into interruptions. With
+// armed, a *sim.Crash panic is the nested-failure model's re-crash and is
+// returned; unarmed it is a campaign-engine bug and re-thrown. Abort panics
+// belong to the campaign engine and are always re-thrown.
+func (t *Tester) runRecovery(k apps.Kernel, m *sim.Machine, from, budget int64, armed bool) (executed int64, crash *sim.Crash, err error, interrupted bool) {
 	defer func() {
 		if r := recover(); r != nil {
-			if _, isCrash := r.(*sim.Crash); isCrash {
-				panic(r) // no crash is armed during restart; a bug
+			if c, isCrash := r.(*sim.Crash); isCrash {
+				if !armed {
+					panic(r) // no crash is armed during this restart; a bug
+				}
+				crash = c
+				return
 			}
 			if _, isAbort := r.(*sim.Abort); isAbort {
 				panic(r) // deadline/cancellation: the campaign engine handles it
@@ -914,7 +1107,7 @@ func (t *Tester) runRestart(k apps.Kernel, m *sim.Machine, from, budget int64) (
 		}
 	}()
 	executed, err = k.Run(m, from, budget)
-	return executed, err, false
+	return executed, nil, err, false
 }
 
 // Restarter is an optional kernel extension: PostRestart recomputes derived

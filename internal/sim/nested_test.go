@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"testing"
+
+	"easycrash/internal/cachesim"
+	"easycrash/internal/faultmodel"
+)
+
+// nestedWorkload runs a small main loop from iteration `from`, returning the
+// number of demand accesses it would issue uninterrupted.
+func nestedWorkload(m *Machine, o F64Slice, from int64) {
+	m.MainLoopBegin()
+	for it := from; it < 4; it++ {
+		m.BeginIteration(it)
+		m.BeginRegion(0)
+		for j := 0; j < o.Len(); j++ {
+			o.Set(j, float64(it)+float64(j))
+		}
+		m.EndRegion(0)
+		m.EndIteration(it)
+	}
+	m.MainLoopEnd()
+}
+
+// A re-armed crash must count demand accesses from the start of the recovery
+// run, not from the machine's first life: RearmCrash(n) fires at the n-th
+// access after the restart, regardless of how many accesses preceded the
+// first crash.
+func TestRearmCrashCountsFromRecoveryStart(t *testing.T) {
+	m := newM(t)
+	o := m.F64(m.Space().AllocF64("x", 32, true))
+
+	catchCrash := func(fn func()) *Crash {
+		var c *Crash
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					crash, ok := r.(*Crash)
+					if !ok {
+						panic(r)
+					}
+					c = crash
+				}
+			}()
+			fn()
+		}()
+		return c
+	}
+
+	m.SetCrashAfter(50)
+	first := catchCrash(func() { nestedWorkload(m, o, 0) })
+	if first == nil || first.Access != 50 {
+		t.Fatalf("first crash = %+v, want access 50", first)
+	}
+
+	// Power loss, then a restart-phase restore outside the main loop: none
+	// of this may tick the crash clock.
+	m.CrashNow()
+	dump := m.Image().Snapshot()
+	m.RestoreObject(o.Object(), dump[o.Object().Addr:o.Object().End()])
+
+	m.RearmCrash(20)
+	if m.MainAccesses() != 0 {
+		t.Fatalf("RearmCrash left the crash clock at %d, want 0", m.MainAccesses())
+	}
+	second := catchCrash(func() { nestedWorkload(m, o, 1) })
+	if second == nil || second.Access != 20 {
+		t.Fatalf("re-armed crash = %+v, want access 20 of the recovery run", second)
+	}
+
+	// RearmCrash(0) resets and disarms: the next recovery completes.
+	m.RearmCrash(0)
+	if done := catchCrash(func() { nestedWorkload(m, o, 1) }); done != nil {
+		t.Fatalf("disarmed recovery crashed: %+v", done)
+	}
+}
+
+// RearmCrash must re-synchronise the torn-write window with the attached
+// injector: restore-phase write-backs are settled by the time the recovery's
+// first access runs, so a crash on that first access must not arm a tear.
+// Media faults injected on successive power losses accumulate on the image
+// through the one injector the trial owns.
+func TestRearmCrashResyncsInFlightWindow(t *testing.T) {
+	m := newM(t)
+	o := m.Space().AllocF64("x", 32, true)
+	inj := faultmodel.New(faultmodel.Config{TornWrites: true}, 1)
+	m.AttachFaults(inj)
+	x := m.F64(o)
+
+	m.SetCrashAfter(40)
+	func() {
+		defer func() {
+			if _, ok := recover().(*Crash); !ok {
+				t.Fatal("armed crash did not fire")
+			}
+		}()
+		nestedWorkload(m, x, 0)
+	}()
+	m.CrashWithFaults()
+
+	// Restart phase: flush the restored object so media writes land after
+	// the crash, then re-arm. Those writes are not in flight at the first
+	// recovery access, so a tear must not be armed for them.
+	dump := m.Image().Snapshot()
+	m.RestoreObject(o, dump[o.Addr:o.End()])
+	m.FlushObject(o, cachesim.CLWB)
+	before := inj.WriteSeq()
+	if before == 0 {
+		t.Fatal("restore-phase flush produced no media writes; test premise broken")
+	}
+
+	m.RearmCrash(1)
+	func() {
+		defer func() {
+			if _, ok := recover().(*Crash); !ok {
+				t.Fatal("re-armed crash did not fire")
+			}
+		}()
+		m.MainLoopBegin()
+		m.BeginIteration(1)
+		_ = x.At(0) // first recovery access: no media write since rearm
+		m.MainLoopEnd()
+	}()
+	if got := m.CrashWithFaults(); got.TornWords != 0 {
+		t.Fatalf("second crash tore %d words of a settled restore write, want 0", got.TornWords)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"easycrash/internal/cachesim"
+	"easycrash/internal/faultmodel"
 )
 
 // resetWorkload is a small deterministic kernel: allocate an object, dirty
@@ -75,6 +76,75 @@ func TestMachineResetMatchesFresh(t *testing.T) {
 	}
 	if m.RegionAccesses()[0] != fresh.RegionAccesses()[0] {
 		t.Fatal("region attribution after reset differs")
+	}
+}
+
+// The nested-failure machinery adds pooled-machine state a first life can
+// leave behind: an attached fault injector (wear counters, in-flight write
+// window), an interrupt hook, a re-armed crash clock, and crash-eligible
+// flush accounting. A machine recycled after all of that must still be
+// byte-identical to a fresh one.
+func TestMachineResetClearsNestedMachinery(t *testing.T) {
+	run := func(m *Machine) (uint64, cachesim.Stats, []byte) {
+		resetWorkload(m)
+		return m.MainAccesses(), m.Hierarchy().Stats(), m.Image().Snapshot()
+	}
+
+	fresh := newM(t)
+	wantAcc, wantStats, wantImage := run(fresh)
+
+	m := newM(t)
+	// A polluting first life exercising the whole nested-trial surface:
+	// media faults attached, flushes crash-eligible, an interrupt hook, a
+	// crash, a restore, a re-armed second crash with fault injection.
+	inj := faultmodel.New(faultmodel.Config{TornWrites: true, RBER: 1e-4}, 99)
+	m.AttachFaults(inj)
+	m.SetFlushCrashEligible(true)
+	m.SetInterrupt(1000, func() error { return nil })
+	func() {
+		defer func() {
+			if _, ok := recover().(*Crash); !ok {
+				t.Fatal("armed crash did not fire")
+			}
+		}()
+		m.SetCrashAfter(40)
+		resetWorkload(m)
+	}()
+	m.CrashWithFaults()
+	o := m.Space().MustObject("x")
+	dump := m.Image().Snapshot()
+	m.Image().Restore(dump)
+	m.RestoreObject(o, dump[o.Addr:o.End()])
+	m.RearmCrash(5)
+	func() {
+		defer func() {
+			if _, ok := recover().(*Crash); !ok {
+				t.Fatal("re-armed crash did not fire")
+			}
+		}()
+		x := m.F64(o)
+		m.MainLoopBegin()
+		m.BeginIteration(0)
+		for j := 0; j < x.Len(); j++ {
+			x.Set(j, float64(j))
+		}
+		m.MainLoopEnd()
+	}()
+	m.CrashWithFaults()
+
+	m.Reset()
+	if m.MainAccesses() != 0 || m.Iterations() != 0 {
+		t.Fatal("Reset left crash-clock state behind")
+	}
+	gotAcc, gotStats, gotImage := run(m)
+	if gotAcc != wantAcc {
+		t.Fatalf("accesses after nested reset = %d, fresh = %d (leaked interrupt hook, flush eligibility or crash clock)", gotAcc, wantAcc)
+	}
+	if !reflect.DeepEqual(gotStats, wantStats) {
+		t.Fatalf("cache stats after nested reset differ:\n got  %+v\n want %+v", gotStats, wantStats)
+	}
+	if !bytes.Equal(gotImage, wantImage) {
+		t.Fatal("durable image after nested reset differs from a fresh machine (leaked faults, poison or wear)")
 	}
 }
 

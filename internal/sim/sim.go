@@ -234,6 +234,28 @@ func (m *Machine) OnCore(core int) { m.core = core }
 // main loop is issued (1-based). n = 0 disarms.
 func (m *Machine) SetCrashAfter(n uint64) { m.crashAt = n }
 
+// RearmCrash arms a crash for a recovery run: the crash clock restarts
+// counting demand accesses from zero, so n is measured from the start of the
+// recomputation rather than from the start of the machine's first life.
+// Restart-phase work (Init, RestoreObject, scrubbing) happens outside the
+// main loop and never ticks the clock, so the n-th demand access of the
+// resumed main loop fires the crash — a second or third power loss striking
+// mid-recomputation.
+//
+// The in-flight-write window is re-synchronised with the attached fault
+// injector: media writes issued while restoring objects are long settled by
+// the time the recovery's first crash-eligible access runs, so they must not
+// be treated as torn-write targets. Iteration and region attribution and all
+// cache/NVM state are preserved — the recovery continues on the machine as
+// the restart left it. n = 0 resets the clock and disarms.
+func (m *Machine) RearmCrash(n uint64) {
+	m.mainAccess = 0
+	m.crashAt = n
+	if m.faults != nil {
+		m.lastWriteSeq = m.faults.WriteSeq()
+	}
+}
+
 // MainAccesses returns the number of demand accesses issued inside the main
 // loop so far. After a golden run this is the size of the crash-point space.
 func (m *Machine) MainAccesses() uint64 { return m.mainAccess }
