@@ -787,6 +787,55 @@ func BenchmarkCampaignTest(b *testing.B) {
 	}
 }
 
+// BenchmarkCampaignPrefixShared measures the speedup of the prefix-sharing
+// engine on a 200-trial faults-off campaign: one shared reference execution
+// forked at each crash point (prefix) versus re-simulating every pre-crash
+// prefix from access 0 (live). The two kernels bracket the engine's regimes:
+// lulesh's baseline restarts abort almost immediately (the paper's
+// segfault-class response), so its campaigns are nearly pure pre-crash
+// prefix and sharing wins an order of magnitude; lu's restarts recompute to
+// completion, so the per-trial recovery both engines must run caps the win
+// near 2x. See DESIGN.md.
+func BenchmarkCampaignPrefixShared(b *testing.B) {
+	for _, kernel := range []string{"lulesh", "lu"} {
+		t := lab.tester(b, kernel)
+		opts := nvct.CampaignOpts{Tests: 200, Seed: 1}
+		b.Run(kernel+"/prefix", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				t.RunCampaign(nil, opts)
+			}
+		})
+		b.Run(kernel+"/live", func(b *testing.B) {
+			lopts := opts
+			lopts.NoPrefixShare = true
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				t.RunCampaign(nil, lopts)
+			}
+		})
+	}
+}
+
+// BenchmarkMachineFork measures one copy-on-write fork of a mid-run machine
+// in the fast path's steady state: one dirtied page to copy, everything else
+// shared with the previous fork.
+func BenchmarkMachineFork(b *testing.B) {
+	m := sim.NewMachine(64<<20, cachesim.TestConfig())
+	o := m.Space().AllocF64("x", 1<<15, true)
+	v := m.F64(o)
+	m.MainLoopBegin()
+	for i := 0; i < 1<<15; i++ {
+		v.Set(i, float64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Set(i&(1<<15-1), float64(i))
+		_ = m.Fork()
+	}
+}
+
 // BenchmarkTsSensitivity reproduces the §6 sensitivity discussion: with a
 // tighter overhead budget t_s, persistence becomes sparser and some kernels
 // (the paper names FT) can no longer meet the recomputability threshold.

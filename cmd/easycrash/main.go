@@ -39,6 +39,7 @@ func main() {
 	)
 	faultFlags := cli.RegisterFaultFlags(flag.CommandLine, false)
 	nestedFlags := cli.RegisterNestedFlags(flag.CommandLine)
+	profFlags := cli.RegisterProfileFlags(flag.CommandLine)
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -112,7 +113,16 @@ func main() {
 	// cleanly and still prints the evidence gathered so far.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// Profiles bracket the workflow's campaigns — the hot path worth
+	// measuring — so they are finalised before any of the exit paths below.
+	stopProfiles, err := profFlags.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
 	res, err := core.RunContext(ctx, factory, cfg)
+	if perr := stopProfiles(); perr != nil {
+		log.Print(perr)
+	}
 	if res == nil {
 		log.Fatal(err)
 	}

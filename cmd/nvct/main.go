@@ -10,7 +10,7 @@
 //	     [-cache paper] [-during-persistence] [-parallel 4]
 //	     [-rber 1e-5] [-torn] [-ecc 1] [-ecc-detect 2] [-scrub]
 //	     [-timeout 30s] [-recrash-depth 2] [-retry-budget 3]
-//	     [-trial-deadline 2m]
+//	     [-trial-deadline 2m] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // With -recrash-depth K > 0 the campaign runs the nested-failure model:
 // up to K additional crashes strike each trial's recovery runs, and the
@@ -55,6 +55,7 @@ func main() {
 	)
 	faultFlags := cli.RegisterFaultFlags(flag.CommandLine, true)
 	nestedFlags := cli.RegisterNestedFlags(flag.CommandLine)
+	profFlags := cli.RegisterProfileFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -123,7 +124,15 @@ func main() {
 	// abort, and the partial report of completed tests is still printed.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// Profiles bracket the campaign itself — the hot path worth measuring.
+	stopProfiles, err := profFlags.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
 	rep, err := tester.RunCampaignContext(ctx, policy, opts)
+	if perr := stopProfiles(); perr != nil {
+		log.Print(perr)
+	}
 	if rep == nil {
 		log.Fatal(err)
 	}

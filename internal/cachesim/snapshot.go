@@ -1,0 +1,121 @@
+package cachesim
+
+// Snapshot is a compact copy of a hierarchy's full volatile state: every tag
+// array (tags, state flags, recency ticks, replacement RNG), the free-slot
+// stack (whose order is determinism-load-bearing — it decides which arena
+// slot the next fill claims), the recency clock, the statistics, and the
+// values of the resident blocks. It deliberately does NOT copy the
+// block-number-indexed slot table (NVM-capacity / 64 entries — megabytes for
+// a realistic image): residency is LLC-bounded by inclusion, so the valid LLC
+// lines enumerate every (block, slot) pair, and ResumeFrom replays those into
+// a freshly Reset table instead.
+//
+// A Snapshot is immutable once taken and safe to restore into any hierarchy
+// with the same configuration, concurrently with other restores of the same
+// snapshot elsewhere.
+type Snapshot struct {
+	name string // config name, used to reject geometry mismatches
+	tick uint64
+	stats Stats
+
+	// Concatenated per-cache arrays in fixed iteration order: each core's
+	// private levels innermost-first, then the shared LLC.
+	tags  []uint64
+	state []uint8
+	lru   []uint64
+	rngs  []uint64
+
+	freeSlots []int32
+
+	// Resident block values, harvested from the valid LLC lines: block
+	// number, the arena slot it occupied, and its BlockSize bytes of data.
+	blks    []uint64
+	slotIDs []int32
+	data    []byte
+}
+
+// eachCache visits every tag array in the fixed snapshot order.
+func (h *Hierarchy) eachCache(fn func(c *cache)) {
+	for c := range h.priv {
+		for _, pc := range h.priv[c] {
+			fn(pc)
+		}
+	}
+	fn(h.llc)
+}
+
+// Snapshot captures the hierarchy's volatile state. The backing image is not
+// captured — pair this with a mem.Image fork taken at the same instant.
+func (h *Hierarchy) Snapshot() *Snapshot {
+	s := &Snapshot{name: h.cfg.Name, tick: h.tick, stats: h.Stats()}
+	total := 0
+	h.eachCache(func(c *cache) { total += len(c.tags) })
+	s.tags = make([]uint64, 0, total)
+	s.state = make([]uint8, 0, total)
+	s.lru = make([]uint64, 0, total)
+	s.rngs = make([]uint64, 0, h.cfg.Cores*h.npriv+1)
+	h.eachCache(func(c *cache) {
+		s.tags = append(s.tags, c.tags...)
+		s.state = append(s.state, c.state...)
+		s.lru = append(s.lru, c.lru...)
+		s.rngs = append(s.rngs, c.rng)
+	})
+	s.freeSlots = append([]int32(nil), h.freeSlots...)
+
+	resident := h.llcLines - len(h.freeSlots)
+	s.blks = make([]uint64, 0, resident)
+	s.slotIDs = make([]int32, 0, resident)
+	s.data = make([]byte, 0, resident*BlockSize)
+	for i, st := range h.llc.state {
+		if st&stValid != 0 {
+			blk := h.llc.tags[i]
+			slot := h.slots[blk]
+			s.blks = append(s.blks, blk)
+			s.slotIDs = append(s.slotIDs, slot)
+			s.data = append(s.data, h.dataAt(slot)[:]...)
+		}
+	}
+	return s
+}
+
+// ResumeFrom restores a snapshot into the hierarchy, which must be freshly
+// Reset (or just constructed) and share the snapshot's configuration. After
+// the call the hierarchy is state-identical to the one the snapshot was taken
+// from: same residency, same recency order, same free-slot order, same
+// statistics — so a subsequent access sequence behaves identically, write
+// order included. Panics on a dirty target or a geometry mismatch (both are
+// programming errors in the campaign engine).
+func (h *Hierarchy) ResumeFrom(s *Snapshot) {
+	if h.cfg.Name != s.name {
+		panic("cachesim: ResumeFrom across configurations: " + h.cfg.Name + " vs " + s.name)
+	}
+	if len(h.freeSlots) != h.llcLines {
+		panic("cachesim: ResumeFrom requires a freshly Reset hierarchy")
+	}
+	off, nrng := 0, 0
+	h.eachCache(func(c *cache) {
+		n := len(c.tags)
+		copy(c.tags, s.tags[off:off+n])
+		copy(c.state, s.state[off:off+n])
+		copy(c.lru, s.lru[off:off+n])
+		c.rng = s.rngs[nrng]
+		nrng++
+		off += n
+	})
+	if off != len(s.tags) {
+		panic("cachesim: ResumeFrom geometry mismatch despite matching config name")
+	}
+	h.freeSlots = append(h.freeSlots[:0], s.freeSlots...)
+	for i, blk := range s.blks {
+		h.growSlots(blk + 1)
+		h.slots[blk] = s.slotIDs[i]
+		copy(h.dataAt(s.slotIDs[i])[:], s.data[i*BlockSize:(i+1)*BlockSize])
+	}
+	h.tick = s.tick
+
+	hits, misses := h.stats.Hits, h.stats.Misses
+	h.stats = s.stats
+	copy(hits, s.stats.Hits)
+	copy(misses, s.stats.Misses)
+	h.stats.Hits, h.stats.Misses = hits, misses
+}

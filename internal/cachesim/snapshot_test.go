@@ -1,0 +1,135 @@
+package cachesim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"easycrash/internal/mem"
+)
+
+// driveOps runs a deterministic mixed access sequence on a hierarchy.
+func driveOps(h *Hierarchy, seed uint64, n int) {
+	x := seed
+	var buf [16]byte
+	for i := 0; i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		addr := (x % (48 << 10)) &^ 7
+		switch x % 5 {
+		case 0, 1:
+			for j := range buf {
+				buf[j] = byte(x >> (j % 8 * 8))
+			}
+			h.Store(0, addr, buf[:])
+		case 2, 3:
+			h.Load(0, addr, buf[:])
+		case 4:
+			h.Flush(addr, 64, CLWB)
+		}
+	}
+}
+
+func TestSnapshotResumeIdenticalFuture(t *testing.T) {
+	const imgSize = 256 << 10
+	imA := mem.NewImage(imgSize)
+	imB := mem.NewImage(imgSize)
+	ref := New(TestConfig(), imA)
+	driveOps(ref, 0x9e3779b97f4a7c15, 4000)
+
+	snap := ref.Snapshot()
+	imgSnap := imA.Fork(imA.Size())
+
+	// A recycled hierarchy over a different image resumes from the snapshot.
+	fork := New(TestConfig(), imB)
+	driveOps(fork, 12345, 500) // dirty it first, then recycle
+	fork.Reset()
+	imB.Reset()
+	imB.RestoreSnapshot(imgSnap)
+	fork.ResumeFrom(snap)
+
+	if err := fork.CheckInclusion(); err != nil {
+		t.Fatalf("resumed hierarchy violates inclusion: %v", err)
+	}
+
+	// Identical future: same ops on both must produce identical stats,
+	// architectural values, and identical images after a full drain.
+	driveOps(ref, 0xdeadbeef, 3000)
+	driveOps(fork, 0xdeadbeef, 3000)
+
+	if !reflect.DeepEqual(ref.Stats(), fork.Stats()) {
+		t.Fatalf("stats diverged:\nref  %+v\nfork %+v", ref.Stats(), fork.Stats())
+	}
+	a := make([]byte, 48<<10)
+	b := make([]byte, 48<<10)
+	ref.ArchValue(0, a)
+	fork.ArchValue(0, b)
+	if !bytes.Equal(a, b) {
+		t.Fatal("architectural values diverged after resume")
+	}
+	if ref.WriteBackAll() != fork.WriteBackAll() {
+		t.Fatal("drain write-back counts diverged")
+	}
+	if !bytes.Equal(imA.Bytes(0, imgSize), imB.Bytes(0, imgSize)) {
+		t.Fatal("backing images diverged after drain")
+	}
+}
+
+func TestSnapshotIsImmutable(t *testing.T) {
+	im := mem.NewImage(64 << 10)
+	h := New(TestConfig(), im)
+	driveOps(h, 777, 2000)
+	snap := h.Snapshot()
+	want := append([]uint64(nil), snap.tags...)
+	wantData := append([]byte(nil), snap.data...)
+
+	driveOps(h, 888, 2000) // keep mutating the source hierarchy
+
+	im2 := mem.NewImage(64 << 10)
+	h2 := New(TestConfig(), im2)
+	h2.ResumeFrom(snap)
+	driveOps(h2, 999, 2000) // and mutate a hierarchy resumed from it
+
+	if !reflect.DeepEqual(snap.tags, want) || !bytes.Equal(snap.data, wantData) {
+		t.Fatal("snapshot mutated by source or restored hierarchy activity")
+	}
+	// Restoring the same snapshot again still yields the captured state.
+	im3 := mem.NewImage(64 << 10)
+	h3 := New(TestConfig(), im3)
+	h3.ResumeFrom(snap)
+	if h3.tick != snap.tick {
+		t.Fatalf("second restore: tick %d, want %d", h3.tick, snap.tick)
+	}
+	if err := h3.CheckInclusion(); err != nil {
+		t.Fatalf("second restore violates inclusion: %v", err)
+	}
+}
+
+func TestResumeFromRequiresPristineHierarchy(t *testing.T) {
+	im := mem.NewImage(64 << 10)
+	h := New(TestConfig(), im)
+	driveOps(h, 31337, 1000)
+	snap := h.Snapshot()
+
+	dirty := New(TestConfig(), mem.NewImage(64<<10))
+	driveOps(dirty, 1, 100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ResumeFrom on a non-Reset hierarchy did not panic")
+		}
+	}()
+	dirty.ResumeFrom(snap)
+}
+
+func TestResumeFromRejectsConfigMismatch(t *testing.T) {
+	h := New(TestConfig(), mem.NewImage(64<<10))
+	snap := h.Snapshot()
+	other := New(PaperConfig(), mem.NewImage(64<<10))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ResumeFrom across configurations did not panic")
+		}
+	}()
+	other.ResumeFrom(snap)
+}

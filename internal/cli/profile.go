@@ -1,0 +1,63 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// ProfileFlags bundles the pprof flags (-cpuprofile, -memprofile) that
+// cmd/nvct and cmd/easycrash share, so campaign hot spots can be profiled
+// with the standard toolchain (`go tool pprof`).
+type ProfileFlags struct {
+	CPU string
+	Mem string
+}
+
+// RegisterProfileFlags registers the shared profiling flags on fs.
+func RegisterProfileFlags(fs *flag.FlagSet) *ProfileFlags {
+	f := &ProfileFlags{}
+	fs.StringVar(&f.CPU, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.Mem, "memprofile", "", "write a heap profile to this file at exit")
+	return f
+}
+
+// Start begins any requested profiling and returns the stop function that
+// finalises the profiles; callers must run it before exiting, including on
+// error paths. With neither flag set it is a no-op returning a nil-error
+// stop.
+func (f *ProfileFlags) Start() (stop func() error, err error) {
+	var cpu *os.File
+	if f.CPU != "" {
+		cpu, err = os.Create(f.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("cli: -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, fmt.Errorf("cli: -cpuprofile: %w", err)
+		}
+	}
+	return func() error {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			if err := cpu.Close(); err != nil {
+				return fmt.Errorf("cli: -cpuprofile: %w", err)
+			}
+		}
+		if f.Mem != "" {
+			mf, err := os.Create(f.Mem)
+			if err != nil {
+				return fmt.Errorf("cli: -memprofile: %w", err)
+			}
+			defer mf.Close()
+			runtime.GC() // materialise up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				return fmt.Errorf("cli: -memprofile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

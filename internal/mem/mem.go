@@ -20,6 +20,14 @@ import (
 // The paper simulates 64-byte lines (Xeon Gold 6126).
 const BlockSize = 64
 
+// SnapPageSize is the sharing granularity of copy-on-write image forks: a
+// Fork copies only the pages dirtied since the previous Fork and shares the
+// rest with it. 4 KiB keeps the dirty-tracking table small (one bool per
+// page) while a typical inter-fork delta touches only a handful of pages.
+const SnapPageSize = 4096
+
+const snapPageShift = 12
+
 // Image is a byte-accurate simulated NVM image. The zero value is not usable;
 // create one with NewImage.
 type Image struct {
@@ -29,6 +37,13 @@ type Image struct {
 	wear         *WearMap
 	writeHook    WriteHook
 	poisoned     map[uint64]struct{} // block base addrs that read as uncorrectable
+
+	// Copy-on-write fork tracking (nil until the first Fork): snapDirty[i]
+	// marks page i as mutated since the previous Fork, lastFork[i] is the
+	// immutable copy of page i the previous Fork produced. A Fork copies
+	// dirty pages and shares clean ones with its predecessor.
+	snapDirty []bool
+	lastFork  [][]byte
 }
 
 // WriteHook observes every in-band block write into the image before it is
@@ -89,8 +104,22 @@ func (im *Image) WriteBlock(addr uint64, src []byte) {
 	copy(im.data[base:base+BlockSize], src[:BlockSize])
 	im.blockWrites++
 	im.bytesWritten += BlockSize
+	if im.snapDirty != nil {
+		im.snapDirty[base>>snapPageShift] = true
+	}
 	if im.wear != nil {
 		im.wear.record(base)
+	}
+}
+
+// markSnapRange records that [addr, addr+n) was mutated since the last Fork.
+// A no-op (one branch) until the first Fork enables tracking.
+func (im *Image) markSnapRange(addr, n uint64) {
+	if im.snapDirty == nil || n == 0 {
+		return
+	}
+	for p := addr >> snapPageShift; p <= (addr+n-1)>>snapPageShift; p++ {
+		im.snapDirty[p] = true
 	}
 }
 
@@ -162,7 +191,10 @@ func (im *Image) Bytes(addr, n uint64) []byte { return im.data[addr : addr+n] }
 // bytes land in durable state without dirtying or invalidating cached lines,
 // so a kernel using it desynchronises cache and media. eclint (directmem)
 // rejects unannotated calls.
-func (im *Image) RawWrite(addr uint64, src []byte) { copy(im.data[addr:], src) }
+func (im *Image) RawWrite(addr uint64, src []byte) {
+	copy(im.data[addr:], src)
+	im.markSnapRange(addr, uint64(len(src)))
+}
 
 // Float64At reads a float64 stored at addr directly from the image.
 //
@@ -182,6 +214,7 @@ func (im *Image) Float64At(addr uint64) float64 {
 // Machine.StoreF64; eclint (directmem) rejects unannotated calls.
 func (im *Image) SetFloat64At(addr uint64, v float64) {
 	binary.LittleEndian.PutUint64(im.data[addr:addr+8], math.Float64bits(v))
+	im.markSnapRange(addr, 8)
 }
 
 // Int64At reads an int64 stored at addr directly from the image.
@@ -198,6 +231,7 @@ func (im *Image) Int64At(addr uint64) int64 {
 // SetFloat64At; the in-band path is Machine.StoreI64.
 func (im *Image) SetInt64At(addr uint64, v int64) {
 	binary.LittleEndian.PutUint64(im.data[addr:addr+8], uint64(v))
+	im.markSnapRange(addr, 8)
 }
 
 // Snapshot returns a deep copy of the image contents. Crash tests snapshot
@@ -217,6 +251,94 @@ func (im *Image) Restore(snap []byte) {
 		panic(fmt.Sprintf("mem: restore snapshot size %d != image size %d", len(snap), len(im.data)))
 	}
 	copy(im.data, snap)
+	im.markSnapRange(0, im.Size())
+	im.poisoned = nil
+}
+
+// ImageSnapshot is an immutable copy-on-write snapshot of an image prefix,
+// produced by Fork. Its pages are plain copies, shared structurally with the
+// neighbouring forks of the same image where the content did not change in
+// between, so concurrent readers never observe the live image mutating.
+type ImageSnapshot struct {
+	extent       uint64
+	pages        [][]byte
+	blockWrites  uint64
+	bytesWritten uint64
+}
+
+// Extent returns the number of image-prefix bytes the snapshot captured.
+func (s *ImageSnapshot) Extent() uint64 { return s.extent }
+
+// CopyTo copies the snapshot contents into dst (len >= Extent).
+func (s *ImageSnapshot) CopyTo(dst []byte) {
+	off := uint64(0)
+	for _, p := range s.pages {
+		n := s.extent - off
+		if n > SnapPageSize {
+			n = SnapPageSize
+		}
+		copy(dst[off:off+n], p[:n])
+		off += n
+	}
+}
+
+// Fork snapshots the first extent bytes of the image as an immutable
+// ImageSnapshot. The first Fork copies every covered page and enables
+// page-granular dirty tracking; subsequent Forks copy only the pages written
+// since the previous Fork (through any mutation path — block writes, raw
+// writes, Restore) and share the untouched pages with it. This is what lets a
+// campaign's reference machine hand a durable-image copy to every trial at
+// page-delta cost instead of a full 64 MiB copy each.
+//
+// Forking does not capture poison state; the campaign fast path that forks
+// runs with the media-fault layer detached, so the image cannot be poisoned.
+func (im *Image) Fork(extent uint64) *ImageSnapshot {
+	if extent > im.Size() {
+		extent = im.Size()
+	}
+	if im.snapDirty == nil {
+		npages := (im.Size() + SnapPageSize - 1) / SnapPageSize
+		im.snapDirty = make([]bool, npages)
+		for i := range im.snapDirty {
+			im.snapDirty[i] = true
+		}
+		im.lastFork = make([][]byte, npages)
+	}
+	npages := int((extent + SnapPageSize - 1) / SnapPageSize)
+	pages := make([][]byte, npages)
+	for i := range pages {
+		if !im.snapDirty[i] && im.lastFork[i] != nil {
+			pages[i] = im.lastFork[i]
+			continue
+		}
+		lo := uint64(i) << snapPageShift
+		hi := lo + SnapPageSize
+		if hi > im.Size() {
+			hi = im.Size()
+		}
+		p := make([]byte, SnapPageSize)
+		copy(p, im.data[lo:hi])
+		pages[i] = p
+		im.lastFork[i] = p
+		im.snapDirty[i] = false
+	}
+	return &ImageSnapshot{
+		extent:       extent,
+		pages:        pages,
+		blockWrites:  im.blockWrites,
+		bytesWritten: im.bytesWritten,
+	}
+}
+
+// RestoreSnapshot loads a forked snapshot into the image: the captured prefix
+// is overwritten and the write counters are set to the forked machine's
+// values. The caller is responsible for the bytes past the snapshot extent
+// (a freshly Reset image holds zeros there, matching the forked image, whose
+// in-band traffic never leaves its allocated prefix).
+func (im *Image) RestoreSnapshot(s *ImageSnapshot) {
+	s.CopyTo(im.data)
+	im.blockWrites, im.bytesWritten = s.blockWrites, s.bytesWritten
+	im.markSnapRange(0, s.extent)
 	im.poisoned = nil
 }
 
@@ -240,6 +362,8 @@ func (im *Image) ResetPrefix(n uint64) {
 	im.poisoned = nil
 	im.wear = nil
 	im.writeHook = nil
+	im.snapDirty = nil
+	im.lastFork = nil
 }
 
 // Object describes one application data object placed in simulated NVM.

@@ -33,6 +33,15 @@ func (t *Tester) runTrial(ctx context.Context, policy *Policy, crashAt uint64, f
 		// chain. Depth stays 0 on the classic S1 record.
 		return *completed
 	}
+	return t.runChain(ctx, ps, trialSeed, space, opts, deadline, deadlineErr)
+}
+
+// runChain supervises the recovery chain of one nested-failure trial from its
+// phase-1 state onward. It consumes ps.dump (and any re-crash dumps it takes
+// along the way). Both the live engine and the prefix-sharing fast path enter
+// here — recovery chains always execute live, only the initial pre-crash
+// prefix is ever shared.
+func (t *Tester) runChain(ctx context.Context, ps phase1State, trialSeed int64, space uint64, opts CampaignOpts, deadline time.Time, deadlineErr error) TestResult {
 	res := TestResult{
 		CrashAccess:        ps.crash.Access,
 		CrashRegion:        ps.crash.Region,
@@ -78,6 +87,7 @@ func (t *Tester) runTrial(ctx context.Context, policy *Policy, crashAt uint64, f
 			res.Chain = append(res.Chain, ChainCrash{Access: st.crash.Access, Region: st.crash.Region, Iter: st.crash.Iter, Media: st.media})
 			res.FinalInconsistency = st.inc
 			work += st.crash.Iter - st.from
+			t.putDump(dump)
 			dump, poison = st.dump, st.poison
 			prevIter = st.crash.Iter
 			continue
@@ -105,6 +115,7 @@ func (t *Tester) runTrial(ctx context.Context, policy *Policy, crashAt uint64, f
 		}
 		break
 	}
+	t.putDump(dump)
 	return res
 }
 

@@ -389,6 +389,16 @@ type Tester struct {
 	// campaign of thousands of tests reuses one machine per worker instead.
 	// Every Get is Reset before use; reuse must stay behaviourally invisible.
 	machines sync.Pool
+
+	// dumps recycles post-crash durable-image dump buffers. A dump covers
+	// [0, extent) — the allocation high-water mark of the golden run — not
+	// the full NVM capacity: in-band traffic never writes past the extent,
+	// and the restart phase only indexes registered objects, all below it.
+	dumps sync.Pool
+
+	// extent is the golden run's allocation high-water mark; campaign runs
+	// re-execute the same kernel setup, so their extent is identical.
+	extent uint64
 }
 
 // getMachine returns a pristine machine for this tester's configuration,
@@ -406,6 +416,32 @@ func (t *Tester) getMachine() *sim.Machine {
 // the next getMachine resets it — but must no longer be referenced by the
 // caller.
 func (t *Tester) putMachine(m *sim.Machine) { t.machines.Put(m) }
+
+// takeDump copies the machine's durable image prefix — everything the golden
+// run allocated — into a pooled buffer. It replaces the historical full-image
+// Snapshot per crash test (67 MB allocated per test on a 64 MiB image): the
+// restart phase reads the dump only inside registered objects, all of which
+// lie below the extent.
+func (t *Tester) takeDump(m *sim.Machine) []byte {
+	var buf []byte
+	if v := t.dumps.Get(); v != nil {
+		buf = v.([]byte)
+	}
+	if uint64(cap(buf)) < t.extent {
+		buf = make([]byte, t.extent)
+	}
+	buf = buf[:t.extent]
+	//eclint:allow directmem — postmortem dump of the durable image after the crash
+	copy(buf, m.Image().Bytes(0, t.extent))
+	return buf
+}
+
+// putDump recycles a dump buffer once no attempt can read it any more.
+func (t *Tester) putDump(b []byte) {
+	if b != nil {
+		t.dumps.Put(b)
+	}
+}
 
 // NewTester performs the golden run and returns a ready Tester.
 func NewTester(factory apps.Factory, cfg Config) (*Tester, error) {
@@ -448,6 +484,7 @@ func (t *Tester) runGolden(policy *Policy) (Golden, string, error) {
 	if !k.Verify(m, res) {
 		return Golden{}, "", fmt.Errorf("nvct: golden run of %s does not verify against itself", k.Name())
 	}
+	t.extent = m.Space().Extent()
 	g := Golden{
 		Iters:          executed,
 		MainAccesses:   m.MainAccesses(),
@@ -553,6 +590,14 @@ type CampaignOpts struct {
 	// trial exceeding it is recorded as SErr with ErrTrialDeadline and the
 	// campaign continues. 0 means no trial deadline.
 	TrialDeadline time.Duration
+	// NoPrefixShare disables the prefix-sharing fast path, forcing every
+	// test to re-execute its pre-crash prefix live (the historical engine).
+	// The fast path simulates the shared prefix once on a reference machine
+	// and forks at each crash point; it produces byte-identical reports, so
+	// this switch exists for benchmarking and differential testing, not for
+	// correctness. Campaigns with media faults or per-test/per-trial
+	// deadlines always run live regardless.
+	NoPrefixShare bool
 }
 
 // errTestTimeout marks a per-test deadline abort so it can be told apart
@@ -692,14 +737,16 @@ func (t *Tester) RunCampaignContext(ctx context.Context, policy *Policy, opts Ca
 			done[i] = true
 		}
 	}
-	if workers == 1 {
-		for i := range points {
-			if ctx.Err() != nil {
-				break
+	runLive := func() {
+		if workers == 1 {
+			for i := range points {
+				if ctx.Err() != nil {
+					break
+				}
+				runIdx(i)
 			}
-			runIdx(i)
+			return
 		}
-	} else {
 		var wg sync.WaitGroup
 		next := make(chan int)
 		for w := 0; w < workers; w++ {
@@ -721,6 +768,27 @@ func (t *Tester) RunCampaignContext(ctx context.Context, policy *Policy, opts Ca
 		}
 		close(next)
 		wg.Wait()
+	}
+
+	// Prefix sharing simulates the shared pre-crash prefix once and forks at
+	// each crash point, instead of re-executing it per test. It engages only
+	// when the prefix really is shared and uninterruptible: media faults
+	// perturb the durable image per-trial during normal execution, and the
+	// per-test/per-trial watchdogs bound each test's own execution, which a
+	// shared reference run has no analogue for. Nested recovery chains still
+	// run live from the forked post-crash state.
+	if !opts.NoPrefixShare && !opts.Faults.Enabled() &&
+		opts.TestTimeout == 0 && opts.TrialDeadline == 0 {
+		if !t.runPrefixShared(ctx, policy, points, trialSeedAt, space, opts, workers, rep, done) {
+			// The reference run failed outside the simulated-crash protocol
+			// (a panicking kernel, an engine bug): discard any partial fast-
+			// path results and re-run the whole campaign on the live engine,
+			// which isolates such failures per test.
+			clear(done)
+			runLive()
+		}
+	} else {
+		runLive()
 	}
 
 	// Compact to the completed tests (a no-op unless cancelled early).
@@ -878,7 +946,7 @@ func (t *Tester) runPhase1(ctx context.Context, policy *Policy, crashAt uint64, 
 	} else {
 		m.CrashNow()
 	}
-	dump := m.Image().Snapshot()
+	dump := t.takeDump(m)
 	// Phase 1 is done with the machine; the restart phase (usually on the
 	// same worker) picks it straight back up from the pool.
 	t.putMachine(m)
@@ -905,6 +973,14 @@ func (t *Tester) runOne(ctx context.Context, policy *Policy, crashAt uint64, fau
 	if completed != nil {
 		return *completed
 	}
+	return t.finishOne(ctx, ps, opts, deadline, deadlineErr)
+}
+
+// finishOne classifies a classic single-crash test from its phase-1 state:
+// one restart from the dump, no re-crash armed. It consumes ps.dump. Both the
+// live engine (after runPhase1) and the prefix-sharing fast path (after a
+// fork postmortem) finish tests here, so the two paths cannot drift apart.
+func (t *Tester) finishOne(ctx context.Context, ps phase1State, opts CampaignOpts, deadline time.Time, deadlineErr error) TestResult {
 	res := TestResult{
 		CrashAccess:   ps.crash.Access,
 		CrashRegion:   ps.crash.Region,
@@ -915,6 +991,7 @@ func (t *Tester) runOne(ctx context.Context, policy *Policy, crashAt uint64, fau
 
 	// Phase 2: restart from the dump.
 	st := t.restartOnce(ctx, ps.dump, ps.poison, ps.crash.Iter, opts.ScrubOnRestart, deadline, deadlineErr, 0, nil, false)
+	t.putDump(ps.dump)
 	res.Outcome = st.outcome
 	res.ExtraIters = st.extra
 	res.FinalResult = st.final
@@ -1043,7 +1120,7 @@ func (t *Tester) restartOnce(ctx context.Context, dump []byte, poison map[uint64
 		} else {
 			m.CrashNow()
 		}
-		res.dump = m.Image().Snapshot()
+		res.dump = t.takeDump(m)
 		return res
 	}
 	if interrupted || err != nil {

@@ -1,0 +1,189 @@
+// Prefix-sharing campaign engine: simulate the shared pre-crash prefix once,
+// fork at each crash point.
+//
+// Every trial of a faults-off campaign executes the same deterministic
+// pre-crash prefix; only the crash point differs. The live engine re-executes
+// that prefix per test — O(tests × trace-length) simulated work, the dominant
+// wall-clock term of large campaigns. This engine instead sorts the shard's
+// crash points ascending, advances ONE reference machine through the kernel,
+// and at each point captures a copy-on-write fork of the simulated state
+// (durable image pages, cache hierarchy, crash clock) via the crash clock's
+// fork hook — the kernel's stack never unwinds. Each fork is handed to a
+// worker, which resumes it on a pooled machine, takes exactly the postmortem
+// the live engine takes, and finishes the test through the same finishOne /
+// runChain code the live engine uses. Total cost: O(trace-length +
+// tests × recovery).
+//
+// The fast path is an engine optimisation, not a semantics change: the fork
+// hook fires precisely where the crash panic would, so the forked state is
+// byte-identical to the state a live crash leaves behind, and all golden-
+// digest replay pins hold across both engines.
+package nvct
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"easycrash/internal/sim"
+)
+
+// forkJob hands one crash test's forked pre-crash state to a worker. Several
+// jobs share one snapshot when the campaign drew duplicate crash points.
+type forkJob struct {
+	idx   int // index into the campaign's points/results
+	snap  *sim.Snapshot
+	crash sim.Crash
+}
+
+// runPrefixShared runs the campaign's tests off one shared reference
+// execution, filling rep.Tests/done in place. It returns false when the
+// reference run fails outside the simulated-crash protocol — the caller then
+// discards the partial results and re-runs the campaign on the live engine,
+// which isolates per-test failures. Cancellation (ctx) is not a failure: the
+// partial results stand, exactly as on the live engine.
+func (t *Tester) runPrefixShared(ctx context.Context, policy *Policy, points []uint64, trialSeedAt func(int) int64, space uint64, opts CampaignOpts, workers int, rep *Report, done []bool) bool {
+	// Visit crash points in ascending order so one forward pass of the
+	// reference machine meets every one of them. The sort is stable so
+	// duplicate points keep their draw order (not that workers care — each
+	// test is independent — but it keeps scheduling reproducible).
+	order := make([]int, len(points))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return points[order[a]] < points[order[b]] })
+
+	jobs := make(chan forkJob, 2*workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				res, keep := t.finishForkedIsolated(ctx, j, trialSeedAt(j.idx), space, opts)
+				if keep {
+					rep.Tests[j.idx] = res
+					done[j.idx] = true
+				}
+			}
+		}()
+	}
+
+	// The reference run advances on this goroutine, forking at each distinct
+	// crash point and dispatching one job per test drawn at it.
+	pos := 0 // next undispatched entry of order
+	refPanic := func() (refPanic any) {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, isAbort := r.(*sim.Abort); isAbort {
+					return // campaign cancellation, not a failure
+				}
+				refPanic = r
+			}
+		}()
+		k := t.factory()
+		m := t.getMachine()
+		defer t.putMachine(m)
+		k.Setup(m)
+		k.Init(m)
+		if opts.CrashDuringPersistence {
+			m.SetFlushCrashEligible(true)
+		}
+		m.SetPersister(newPolicyPersister(m, k, policy))
+		setInterrupt(ctx, m, time.Time{}, errTestTimeout)
+		m.SetForkHook(func(c sim.Crash) uint64 {
+			snap := m.Fork()
+			p := points[order[pos]]
+			for pos < len(order) && points[order[pos]] == p {
+				select {
+				case jobs <- forkJob{idx: order[pos], snap: snap, crash: c}:
+				case <-ctx.Done():
+					return 0 // stop forking; queued jobs still drain
+				}
+				pos++
+			}
+			if pos == len(order) {
+				return 0
+			}
+			return points[order[pos]]
+		})
+		if len(order) > 0 {
+			m.SetCrashAfter(points[order[0]])
+		}
+		budget := int64(float64(t.golden.Iters) * t.cfg.MaxIterFactor)
+		_, _ = k.Run(m, 0, budget)
+		return nil
+	}()
+	close(jobs)
+	wg.Wait()
+	if refPanic != nil {
+		return false
+	}
+	if ctx.Err() == nil {
+		// The reference run completed with crash points still pending: those
+		// points exceed the run's total accesses, so their crashes never
+		// fire — the same completed-run S1 record the live engine produces.
+		for ; pos < len(order); pos++ {
+			i := order[pos]
+			rep.Tests[i] = TestResult{CrashAccess: points[i], CrashRegion: sim.NoRegion, Outcome: S1}
+			done[i] = true
+		}
+	}
+	return true
+}
+
+// finishForkedIsolated finishes one forked crash test, containing panics the
+// same way runOneIsolated does for live tests: a panicking recovery becomes
+// one SErr result instead of killing the worker pool; a campaign cancellation
+// discards the half-finished test.
+func (t *Tester) finishForkedIsolated(ctx context.Context, j forkJob, trialSeed int64, space uint64, opts CampaignOpts) (res TestResult, keep bool) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if _, ok := r.(*sim.Abort); ok {
+			// No per-test deadline exists on the fast path, so any abort is
+			// the campaign context being cancelled.
+			res, keep = TestResult{}, false
+			return
+		}
+		res = TestResult{
+			CrashAccess: j.crash.Access,
+			CrashRegion: sim.NoRegion,
+			Outcome:     SErr,
+			Err:         fmt.Sprint(r),
+		}
+		keep = true
+	}()
+	return t.finishForked(ctx, j, trialSeed, space, opts), true
+}
+
+// finishForked resumes a fork on a pooled machine, takes the postmortem the
+// live engine's runPhase1 takes — per-candidate inconsistency, the optional
+// verified drain, the power loss, the durable dump — and then finishes the
+// test through the shared classification code: finishOne for classic tests,
+// runChain for nested-failure trials (whose recovery chains always run live).
+func (t *Tester) finishForked(ctx context.Context, j forkJob, trialSeed int64, space uint64, opts CampaignOpts) TestResult {
+	m := t.getMachine()
+	m.ResumeFrom(j.snap)
+	inc := make(map[string]float64, len(t.golden.Candidates))
+	for _, o := range t.golden.Candidates {
+		inc[o.Name] = m.InconsistencyRate(o)
+	}
+	if opts.Verified {
+		m.Hierarchy().WriteBackAll()
+	}
+	m.CrashNow()
+	dump := t.takeDump(m)
+	t.putMachine(m)
+
+	crash := j.crash
+	ps := phase1State{crash: &crash, inc: inc, dump: dump}
+	if opts.RecrashDepth > 0 {
+		return t.runChain(ctx, ps, trialSeed, space, opts, time.Time{}, errTestTimeout)
+	}
+	return t.finishOne(ctx, ps, opts, time.Time{}, errTestTimeout)
+}

@@ -114,6 +114,15 @@ type Machine struct {
 	intrEvery uint64
 	intrCount uint64
 
+	// forkFn, when set, replaces the crash panic: the armed point calls the
+	// hook (which typically Forks the machine) and execution continues with
+	// whatever point the hook arms next. See SetForkHook.
+	forkFn ForkHook
+
+	// resumeExtent is the image extent a ResumeFrom restored; Reset must
+	// clear that prefix even though this machine's space never allocated it.
+	resumeExtent uint64
+
 	buf [8]byte
 }
 
@@ -164,6 +173,13 @@ func (m *Machine) Reset() {
 	m.faults = nil
 	m.lastWriteSeq = 0
 	m.intrFn, m.intrEvery, m.intrCount = nil, 0, 0
+	m.forkFn = nil
+	if m.resumeExtent != 0 {
+		// A resumed machine carries restored image bytes beyond its own
+		// space's (empty) allocation extent; clear them too.
+		m.space.Image().ResetPrefix(m.resumeExtent)
+		m.resumeExtent = 0
+	}
 }
 
 // Space returns the machine's object space.
@@ -326,14 +342,23 @@ func (m *Machine) account() {
 	m.mainAccess++
 	m.regionAccess[m.region+1]++
 	if m.crashAt != 0 && m.mainAccess >= m.crashAt {
-		m.crashAt = 0
-		if m.faults != nil && m.faults.WriteSeq() > m.lastWriteSeq {
-			// A media write (eviction write-back or persistence flush)
-			// happened since the previous crash-clock tick: it was in
-			// flight when the power failed, so it is the tear target.
-			m.faults.ArmTear()
+		if m.forkFn != nil {
+			// Prefix-sharing mode: hand the would-be crash to the fork hook
+			// and keep running toward whatever point it arms next. The hook
+			// fires exactly where the panic would — after the crash clock
+			// ticked, before the access completes — so a fork taken inside
+			// it matches the state a live crash leaves behind.
+			m.crashAt = m.forkFn(Crash{Access: m.mainAccess, Region: m.region, Iter: m.iter})
+		} else {
+			m.crashAt = 0
+			if m.faults != nil && m.faults.WriteSeq() > m.lastWriteSeq {
+				// A media write (eviction write-back or persistence flush)
+				// happened since the previous crash-clock tick: it was in
+				// flight when the power failed, so it is the tear target.
+				m.faults.ArmTear()
+			}
+			panic(&Crash{Access: m.mainAccess, Region: m.region, Iter: m.iter})
 		}
-		panic(&Crash{Access: m.mainAccess, Region: m.region, Iter: m.iter})
 	}
 	if m.faults != nil {
 		m.lastWriteSeq = m.faults.WriteSeq()
