@@ -21,6 +21,10 @@ import (
 	"easycrash/internal/core"
 	"easycrash/internal/nvct"
 	"easycrash/internal/sysmodel"
+
+	// Register the persistent KV workloads ("pmemkv", "pmemkv-bug"), so the
+	// workflow can be pointed at a consistency-oracle kernel.
+	_ "easycrash/internal/pmemkv"
 )
 
 func main() {
@@ -149,6 +153,9 @@ func main() {
 	fmt.Printf("\nStep 1 — baseline campaign (%d tests): recomputability %.3f  [S1 %d  S2 %d  S3 %d  S4 %d]\n",
 		len(res.Baseline.Tests), res.BaselineY,
 		res.Baseline.Counts[0], res.Baseline.Counts[1], res.Baseline.Counts[2], res.Baseline.Counts[3])
+	if viol, listed := res.Baseline.ConsistencyViolations(); viol > 0 {
+		fmt.Printf("  baseline oracle: %d trial(s) with crash-consistency violations (%d itemised)\n", viol, listed)
+	}
 
 	fmt.Println("\nStep 2 — data-object selection (Spearman rank correlation):")
 	for _, o := range res.Objects {
@@ -197,6 +204,10 @@ func main() {
 			for k, r := range res.Final.RecrashRecoverability() {
 				fmt.Printf("  R(%d) = %.3f\n", k+1, r)
 			}
+		}
+		if viol, listed := res.FinalViolations(); viol > 0 {
+			fmt.Printf("  ORACLE: %d trial(s) with crash-consistency violations (%d itemised) — the policy does not make this workload crash-consistent\n",
+				viol, listed)
 		}
 	case interrupted:
 		fmt.Println("\nStep 4 — validation interrupted")

@@ -11,11 +11,19 @@
 //	     [-rber 1e-5] [-torn] [-ecc 1] [-ecc-detect 2] [-scrub]
 //	     [-timeout 30s] [-recrash-depth 2] [-retry-budget 3]
 //	     [-trial-deadline 2m] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	     [-repro 17] [-json report.json] [-fail-on-violations]
+//	     [-expect-violations]
 //
 // With -recrash-depth K > 0 the campaign runs the nested-failure model:
 // up to K additional crashes strike each trial's recovery runs, and the
 // report adds the recoverability-under-re-crash curve R(k). SIGINT/SIGTERM
 // cancel the campaign gracefully; the partial report is still printed.
+//
+// The consistency-oracle workloads (pmemkv, pmemkv-bug) classify silent
+// crash-consistency violations as a VIOL outcome; -fail-on-violations /
+// -expect-violations turn that count into an exit status for CI, -json
+// exports the full per-trial evidence, and -repro N re-runs one campaign
+// trial by seed and prints its chain postmortem and oracle verdict.
 package main
 
 import (
@@ -32,6 +40,10 @@ import (
 	"easycrash/internal/apps"
 	"easycrash/internal/cli"
 	"easycrash/internal/nvct"
+
+	// Register the persistent KV workloads ("pmemkv", "pmemkv-bug") with the
+	// kernel registry.
+	_ "easycrash/internal/pmemkv"
 )
 
 func main() {
@@ -56,6 +68,7 @@ func main() {
 	faultFlags := cli.RegisterFaultFlags(flag.CommandLine, true)
 	nestedFlags := cli.RegisterNestedFlags(flag.CommandLine)
 	profFlags := cli.RegisterProfileFlags(flag.CommandLine)
+	oracleFlags := cli.RegisterOracleFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -79,6 +92,9 @@ func main() {
 		log.Fatal(err)
 	}
 	if err := nestedFlags.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	if err := oracleFlags.Validate(); err != nil {
 		log.Fatal(err)
 	}
 
@@ -124,6 +140,23 @@ func main() {
 	// abort, and the partial report of completed tests is still printed.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if oracleFlags.Repro >= 0 {
+		// Repro mode: re-derive the campaign's trial plan from the seed and
+		// re-run just the requested trial, live, printing its postmortem.
+		res, err := tester.ReproTrial(ctx, policy, opts, oracleFlags.Repro)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		cli.PrintTrial(os.Stdout, oracleFlags.Repro, res)
+		if len(res.Violations) > 0 && oracleFlags.FailOnViolations {
+			os.Exit(1)
+		}
+		if len(res.Violations) == 0 && oracleFlags.ExpectViolations {
+			os.Exit(1)
+		}
+		return
+	}
 	// Profiles bracket the campaign itself — the hot path worth measuring.
 	stopProfiles, err := profFlags.Start()
 	if err != nil {
@@ -159,6 +192,11 @@ func main() {
 	}
 	if rep.Counts[nvct.SErr] > 0 {
 		fmt.Printf("  ERR engine errors          : %4d (%.1f%%)\n", rep.Counts[nvct.SErr], 100*float64(rep.Counts[nvct.SErr])/n)
+	}
+	if rep.Counts[nvct.SViol] > 0 {
+		trials, listed := rep.ConsistencyViolations()
+		fmt.Printf("  VIOL consistency violations: %4d (%.1f%%), %d violation(s) itemised\n",
+			trials, 100*float64(trials)/n, listed)
 	}
 	fmt.Printf("  recomputability %.3f, success rate %.3f, avg extra iterations %.1f\n",
 		rep.Recomputability(), rep.SuccessRate(), rep.AvgExtraIters())
@@ -213,7 +251,13 @@ func main() {
 		}
 		fmt.Printf("  %-10s %.4f\n", name, sum/float64(len(rates)))
 	}
+	if werr := oracleFlags.WriteReport(rep); werr != nil {
+		log.Fatal(werr)
+	}
 	if err != nil {
 		os.Exit(1) // the report above is partial
+	}
+	if gerr := oracleFlags.CheckViolations(rep); gerr != nil {
+		log.Fatal(gerr)
 	}
 }

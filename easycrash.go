@@ -79,14 +79,16 @@ type Report = nvct.Report
 // Outcome classifies one crash test (S1..S4).
 type Outcome = nvct.Outcome
 
-// Crash-test outcomes (Figure 3, extended by the media-fault model).
+// Crash-test outcomes (Figure 3, extended by the media-fault model and the
+// crash-consistency oracle).
 const (
-	S1   = nvct.S1   // successful recomputation, no extra iterations
-	S2   = nvct.S2   // successful recomputation with extra iterations
-	S3   = nvct.S3   // interruption
-	S4   = nvct.S4   // verification failure
-	SDue = nvct.SDue // restart hit a detected-uncorrectable media error
-	SErr = nvct.SErr // the test itself errored (panic or per-test timeout)
+	S1    = nvct.S1    // successful recomputation, no extra iterations
+	S2    = nvct.S2    // successful recomputation with extra iterations
+	S3    = nvct.S3    // interruption
+	S4    = nvct.S4    // verification failure
+	SDue  = nvct.SDue  // restart hit a detected-uncorrectable media error
+	SErr  = nvct.SErr  // the test itself errored (panic or per-test timeout)
+	SViol = nvct.SViol // recovery silently violated acknowledged-write consistency
 )
 
 // ErrEmptyCrashSpace reports a campaign whose crash-point space is empty —

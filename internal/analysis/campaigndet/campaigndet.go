@@ -13,9 +13,10 @@
 // the benchmark kernels (internal/apps), the campaign engine and its
 // callbacks (internal/nvct, internal/core, internal/sim), the media-fault
 // injector whose RNG stream nested-failure chains replay across power
-// losses (internal/faultmodel), the public facade (easycrash) and the
-// runnable examples. Elsewhere — one-shot CLI printing, offline analysis —
-// wall clocks and maps are fine and not worth the noise.
+// losses (internal/faultmodel), the persistent KV workload whose oracle
+// verdicts are replayed by trial index (internal/pmemkv), the public facade
+// (easycrash) and the runnable examples. Elsewhere — one-shot CLI printing,
+// offline analysis — wall clocks and maps are fine and not worth the noise.
 // Intentional uses inside the scope (a -timeout deadline, a commutative
 // reduction over a map) carry an //eclint:allow campaigndet annotation with
 // a justification.
@@ -30,7 +31,7 @@ import (
 )
 
 // scope matches the import paths where determinism is load-bearing.
-var scope = regexp.MustCompile(`^easycrash($|/examples/|/internal/(apps|nvct|core|sim|faultmodel)($|/))`)
+var scope = regexp.MustCompile(`^easycrash($|/examples/|/internal/(apps|nvct|core|sim|faultmodel|pmemkv)($|/))`)
 
 // seededConstructors are the math/rand functions that build seeded local
 // generators — the fix, not the bug.

@@ -34,3 +34,15 @@ func TestFaultmodelInScope(t *testing.T) {
 		t.Fatal("fixture produced no findings under the faultmodel path; scope does not cover the injector")
 	}
 }
+
+// TestPmemkvInScope loads the fixture under the persistent KV workload's
+// import path: campaign trials (and their oracle verdicts) are replayed by
+// seed and trial index, including the -repro single-trial path, so the store
+// must be as deterministic as the engine that drives it.
+func TestPmemkvInScope(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "kernel")
+	findings := analysistest.Findings(t, dir, "easycrash/internal/pmemkv/fixture", campaigndet.Analyzer)
+	if len(findings) == 0 {
+		t.Fatal("fixture produced no findings under the pmemkv path; scope does not cover the KV workload")
+	}
+}

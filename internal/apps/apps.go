@@ -94,9 +94,41 @@ const (
 // registry of kernels, in the paper's Table 1 order.
 var registryOrder = []string{"cg", "mg", "ft", "is", "bt", "lu", "sp", "ep", "botsspar", "lulesh", "kmeans"}
 
+// registered holds kernels contributed by other packages through Register;
+// extOrder keeps their registration order so Names stays deterministic.
+var (
+	registered = map[string]func(Profile) Kernel{}
+	extOrder   []string
+)
+
+// Register adds a kernel constructor under the given name, making it
+// resolvable through New and listed by Names after the built-in set.
+// Packages that implement kernels outside this one (e.g. the persistent KV
+// workload) register themselves from an init function; importing them for
+// side effects is enough to make their kernels available. Register panics on
+// a duplicate or built-in name — both are programming errors.
+func Register(name string, ctor func(Profile) Kernel) {
+	if ctor == nil {
+		panic(fmt.Sprintf("apps: nil constructor registered for %q", name))
+	}
+	if _, dup := registered[name]; dup {
+		panic(fmt.Sprintf("apps: kernel %q registered twice", name))
+	}
+	for _, b := range registryOrder {
+		if b == name {
+			panic(fmt.Sprintf("apps: kernel %q shadows a built-in", name))
+		}
+	}
+	registered[name] = ctor
+	extOrder = append(extOrder, name)
+}
+
 // New returns a factory for the named kernel at the given profile. It
 // returns an error for unknown names.
 func New(name string, p Profile) (Factory, error) {
+	if ctor, ok := registered[name]; ok {
+		return func() Kernel { return ctor(p) }, nil
+	}
 	switch name {
 	case "cg":
 		return func() Kernel { return NewCG(p) }, nil
@@ -124,10 +156,12 @@ func New(name string, p Profile) (Factory, error) {
 	return nil, fmt.Errorf("apps: unknown kernel %q", name)
 }
 
-// Names returns all kernel names in Table-1 order.
+// Names returns all kernel names: the built-ins in Table-1 order, then any
+// Register-ed kernels in registration order.
 func Names() []string {
-	out := make([]string, len(registryOrder))
-	copy(out, registryOrder)
+	out := make([]string, 0, len(registryOrder)+len(extOrder))
+	out = append(out, registryOrder...)
+	out = append(out, extOrder...)
 	return out
 }
 

@@ -1,0 +1,52 @@
+// Crash-consistency oracle support (after WITCHER, OSDI'21): a kernel that
+// acknowledges operations to a client can expose the volatile ack journal to
+// the campaign engine, which audits every recovery against it. The paper's
+// own classification (S1..S4) only measures whether a kernel *recomputes*;
+// the oracle measures whether it *lies* — an acknowledged write that comes
+// back wrong after a crash is a consistency bug even if the run completes.
+package apps
+
+import "easycrash/internal/sim"
+
+// AckJournal is an opaque snapshot of a kernel's volatile acknowledged-
+// operations journal, taken at a crash. The journal lives on the volatile
+// side (it models the client's view, not NVM state), so the engine carries it
+// across the power loss and hands it back for the post-recovery audit.
+type AckJournal interface {
+	// Merge folds another snapshot of the same workload's journal into this
+	// one and returns the union. Nested-failure chains acknowledge more
+	// operations during recovery attempts that then crash again; the audit
+	// after the final recovery must honour every ack of every life.
+	Merge(other AckJournal) AckJournal
+}
+
+// Audit is the verdict of one post-recovery consistency check.
+type Audit struct {
+	// Violations lists crash-consistency violations in a stable, seed-
+	// reproducible order: acknowledged writes that are lost, keys that
+	// regressed to a stale value, and never-acknowledged values that became
+	// visible. Empty means the recovered state honours every ack.
+	Violations []string
+	// Detected is a recovery failure the workload itself caught and reported
+	// (a corrupt WAL record, an invalid commit mark, an unreadable block).
+	// It is the *correct* behaviour on damaged media — fail loudly — and is
+	// classified as an interruption, never as a silent violation.
+	Detected error
+}
+
+// ConsistencyKernel is a kernel with client-visible persistence semantics:
+// it acknowledges operations as durable and can audit a recovered state
+// against a journal of those acknowledgements.
+type ConsistencyKernel interface {
+	Kernel
+	// Journal snapshots the acknowledged-operations journal. The engine
+	// calls it right after a crash fires, while the pre-crash kernel
+	// instance (and so its volatile state) is still intact.
+	Journal() AckJournal
+	// Audit checks the machine's recovered state — after Init, candidate
+	// restore and PostRestart replay — against a journal snapshot. The
+	// single operation that was in flight (attempted but not yet
+	// acknowledged) at the crash MAY legitimately be visible; everything
+	// else is bound by the journal.
+	Audit(m *sim.Machine, j AckJournal) Audit
+}

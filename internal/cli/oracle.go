@@ -1,0 +1,123 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"easycrash/internal/faultmodel"
+	"easycrash/internal/nvct"
+)
+
+// OracleFlags bundles the campaign-runner flags for the crash-consistency
+// oracle and the evidence-first reporting built on it: single-trial repro,
+// stable JSON export, and the CI-oriented violation gates.
+type OracleFlags struct {
+	// Repro is a campaign trial index to re-run in isolation (-1: run the
+	// whole campaign). The trial is re-derived from the campaign seed, so
+	// its crash chain and oracle verdict reproduce the campaign's record.
+	Repro int
+	// JSONPath writes the stable report serialization to a file ("-": stdout).
+	JSONPath string
+	// FailOnViolations exits nonzero when the oracle charged any violation —
+	// the gate a correct-store CI job runs behind.
+	FailOnViolations bool
+	// ExpectViolations exits nonzero when the oracle charged NO violation —
+	// the gate proving a deliberately buggy store is actually caught.
+	ExpectViolations bool
+}
+
+// RegisterOracleFlags registers the oracle/reporting flags on fs.
+func RegisterOracleFlags(fs *flag.FlagSet) *OracleFlags {
+	f := &OracleFlags{}
+	fs.IntVar(&f.Repro, "repro", -1, "re-run one campaign trial by index and print its postmortem (-1: full campaign)")
+	fs.StringVar(&f.JSONPath, "json", "", "write the stable JSON report to this file (\"-\": stdout)")
+	fs.BoolVar(&f.FailOnViolations, "fail-on-violations", false, "exit nonzero if the oracle charged any consistency violation")
+	fs.BoolVar(&f.ExpectViolations, "expect-violations", false, "exit nonzero if the oracle charged no consistency violation (buggy-variant CI gate)")
+	return f
+}
+
+// Validate rejects contradictory gates.
+func (f *OracleFlags) Validate() error {
+	if f.FailOnViolations && f.ExpectViolations {
+		return fmt.Errorf("cli: -fail-on-violations and -expect-violations are mutually exclusive")
+	}
+	return nil
+}
+
+// WriteReport writes the report's stable JSON serialization to the -json
+// target; a no-op when the flag was not given.
+func (f *OracleFlags) WriteReport(rep *nvct.Report) error {
+	if f.JSONPath == "" {
+		return nil
+	}
+	if f.JSONPath == "-" {
+		return rep.WriteJSON(os.Stdout)
+	}
+	b, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(f.JSONPath, b, 0o644)
+}
+
+// CheckViolations applies the violation gates to the campaign's outcome
+// counts, returning the error the caller should exit nonzero on.
+func (f *OracleFlags) CheckViolations(rep *nvct.Report) error {
+	n := rep.Counts[nvct.SViol]
+	if f.FailOnViolations && n > 0 {
+		return fmt.Errorf("cli: oracle charged %d consistency violation(s)", n)
+	}
+	if f.ExpectViolations && n == 0 {
+		return fmt.Errorf("cli: oracle charged no consistency violation in %d trials", len(rep.Tests))
+	}
+	return nil
+}
+
+// PrintTrial renders one trial's postmortem: the crash (or the whole crash
+// chain of a nested trial), the media damage, and the oracle verdict. It is
+// the output of nvct -repro.
+func PrintTrial(w io.Writer, index int, tr nvct.TestResult) {
+	fmt.Fprintf(w, "trial %d: %s\n", index, tr.Outcome)
+	if len(tr.Chain) > 0 {
+		for lvl, c := range tr.Chain {
+			fmt.Fprintf(w, "  crash %d: access %d, region %d, iteration %d%s\n",
+				lvl, c.Access, c.Region, c.Iter, describeMedia(c.Media))
+		}
+		fmt.Fprintf(w, "  chain depth %d, %d recovery attempt(s)\n", tr.Depth, tr.Retries)
+	} else {
+		fmt.Fprintf(w, "  crash: access %d, region %d, iteration %d%s\n",
+			tr.CrashAccess, tr.CrashRegion, tr.CrashIter, describeMedia(tr.Media))
+	}
+	if tr.ScrubbedObjects > 0 {
+		fmt.Fprintf(w, "  scrubbed %d poisoned object(s) on restart\n", tr.ScrubbedObjects)
+	}
+	if tr.ExtraIters > 0 {
+		fmt.Fprintf(w, "  %d extra iteration(s) recomputed\n", tr.ExtraIters)
+	}
+	if tr.Err != "" {
+		fmt.Fprintf(w, "  detected failure: %s\n", tr.Err)
+	}
+	switch {
+	case len(tr.Violations) > 0:
+		fmt.Fprintf(w, "  oracle verdict: %d consistency violation(s)\n", len(tr.Violations))
+		for _, v := range tr.Violations {
+			fmt.Fprintf(w, "    %s\n", v)
+		}
+	case tr.Outcome == nvct.SViol:
+		fmt.Fprintln(w, "  oracle verdict: violation (none itemised)")
+	default:
+		fmt.Fprintln(w, "  oracle verdict: clean")
+	}
+}
+
+// describeMedia renders a media-fault injection summary, or nothing for a
+// clean power loss.
+func describeMedia(m faultmodel.Injection) string {
+	if m == (faultmodel.Injection{}) {
+		return ""
+	}
+	return fmt.Sprintf(" [media: %d torn words, %d corrected, %d poisoned, %d silent blocks, %d bits flipped]",
+		m.TornWords, m.CorrectedBlocks, m.PoisonedBlocks, m.SilentBlocks, m.FlippedBits)
+}

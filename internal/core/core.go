@@ -167,6 +167,19 @@ func (r *Result) AchievedY() float64 {
 	return r.PredictedY
 }
 
+// FinalViolations returns the Step-4 validation campaign's crash-consistency
+// evidence: the number of trials the oracle classified SViol and the total
+// violations itemised across them. Both are zero when validation was skipped
+// or the workload carries no consistency oracle. A nonzero count means the
+// shipped policy leaves the workload crash-inconsistent — recomputability
+// alone cannot surface that, since a violating trial still recomputes.
+func (r *Result) FinalViolations() (tests, listed int) {
+	if r.Final == nil {
+		return 0, 0
+	}
+	return r.Final.ConsistencyViolations()
+}
+
 // Run executes the full EasyCrash workflow for one kernel.
 func Run(factory apps.Factory, cfg Config) (*Result, error) {
 	return RunContext(context.Background(), factory, cfg)

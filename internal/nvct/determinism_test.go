@@ -18,11 +18,20 @@ import (
 // per-test and order-free; the digest must not depend on iteration order).
 func reportDigest(r *nvct.Report) string {
 	h := sha256.New()
+	// The first six outcome counts are folded as a %v slice, which prints
+	// exactly like the [6]int array the pre-oracle engine folded; the SViol
+	// count is folded only when nonzero, so every pre-oracle digest holds.
 	fmt.Fprintf(h, "kernel=%s regions=%d requested=%d tests=%d counts=%v\n",
-		r.Kernel, r.Regions, r.Requested, len(r.Tests), r.Counts)
+		r.Kernel, r.Regions, r.Requested, len(r.Tests), r.Counts[:int(nvct.SErr)+1])
+	if r.Counts[nvct.SViol] > 0 {
+		fmt.Fprintf(h, "violations=%d\n", r.Counts[nvct.SViol])
+	}
 	for i, t := range r.Tests {
 		fmt.Fprintf(h, "%d: acc=%d reg=%d iter=%d out=%s extra=%d scrub=%d err=%q\n",
 			i, t.CrashAccess, t.CrashRegion, t.CrashIter, t.Outcome, t.ExtraIters, t.ScrubbedObjects, t.Err)
+		for _, v := range t.Violations {
+			fmt.Fprintf(h, "  viol=%q\n", v)
+		}
 		fmt.Fprintf(h, "  media=%+v\n", t.Media)
 		names := make([]string, 0, len(t.Inconsistency))
 		for name := range t.Inconsistency {

@@ -13,10 +13,10 @@ import (
 )
 
 func TestExtendedOutcomeStrings(t *testing.T) {
-	if nvct.SDue.String() != "DUE" || nvct.SErr.String() != "ERR" {
-		t.Fatalf("extended outcome labels: %q %q", nvct.SDue, nvct.SErr)
+	if nvct.SDue.String() != "DUE" || nvct.SErr.String() != "ERR" || nvct.SViol.String() != "VIOL" {
+		t.Fatalf("extended outcome labels: %q %q %q", nvct.SDue, nvct.SErr, nvct.SViol)
 	}
-	if nvct.NumOutcomes != 6 {
+	if nvct.NumOutcomes != 7 {
 		t.Fatalf("NumOutcomes = %d", nvct.NumOutcomes)
 	}
 }

@@ -1,0 +1,144 @@
+// Stable JSON serialization of campaign reports, for archiving campaign
+// results and diffing them across engine versions. The wire format is pinned
+// by explicit DTOs rather than the internal structs: internal fields can move
+// without breaking consumers, and a golden-file test holds the format still.
+// Everything that makes the output nondeterministic in general JSON —
+// map ordering, optional fields — is nailed down: encoding/json sorts map
+// keys, zero-valued optional fields are omitted, and trial order is campaign
+// order, so one campaign serializes to one byte sequence.
+package nvct
+
+import (
+	"encoding/json"
+	"io"
+
+	"easycrash/internal/faultmodel"
+)
+
+// reportJSON is the serialized form of a Report.
+type reportJSON struct {
+	Kernel    string         `json:"kernel"`
+	Regions   int            `json:"regions"`
+	Requested int            `json:"requested"`
+	Tests     int            `json:"tests"`
+	Counts    map[string]int `json:"counts"`
+	Policy    *policyJSON    `json:"policy,omitempty"`
+	Trials    []trialJSON    `json:"trials"`
+}
+
+// policyJSON mirrors Policy with stable field names.
+type policyJSON struct {
+	Objects        []string `json:"objects,omitempty"`
+	AtIterationEnd bool     `json:"at_iteration_end,omitempty"`
+	AtRegionEnds   []int    `json:"at_region_ends,omitempty"`
+	Frequency      int64    `json:"frequency,omitempty"`
+	Op             string   `json:"op"`
+}
+
+// trialJSON is one TestResult. Nested-failure and oracle fields are omitted
+// when empty, so classic campaign output stays compact and stable.
+type trialJSON struct {
+	Index              int                   `json:"index"`
+	CrashAccess        uint64                `json:"crash_access"`
+	CrashRegion        int                   `json:"crash_region"`
+	CrashIter          int64                 `json:"crash_iter"`
+	Outcome            string                `json:"outcome"`
+	ExtraIters         int64                 `json:"extra_iters,omitempty"`
+	Inconsistency      map[string]float64    `json:"inconsistency,omitempty"`
+	FinalResult        []float64             `json:"final_result,omitempty"`
+	Media              *faultmodel.Injection `json:"media,omitempty"`
+	ScrubbedObjects    int                   `json:"scrubbed_objects,omitempty"`
+	Err                string                `json:"err,omitempty"`
+	Violations         []string              `json:"violations,omitempty"`
+	Depth              int                   `json:"depth,omitempty"`
+	Retries            int                   `json:"retries,omitempty"`
+	Chain              []chainJSON           `json:"chain,omitempty"`
+	FinalInconsistency map[string]float64    `json:"final_inconsistency,omitempty"`
+}
+
+// chainJSON is one crash of a nested-failure chain.
+type chainJSON struct {
+	Access uint64                `json:"access"`
+	Region int                   `json:"region"`
+	Iter   int64                 `json:"iter"`
+	Media  *faultmodel.Injection `json:"media,omitempty"`
+}
+
+func injectionJSON(m faultmodel.Injection) *faultmodel.Injection {
+	if m == (faultmodel.Injection{}) {
+		return nil
+	}
+	return &m
+}
+
+func (r *Report) toJSON() reportJSON {
+	out := reportJSON{
+		Kernel:    r.Kernel,
+		Regions:   r.Regions,
+		Requested: r.Requested,
+		Tests:     len(r.Tests),
+		Counts:    make(map[string]int, NumOutcomes),
+		Trials:    make([]trialJSON, len(r.Tests)),
+	}
+	for o := 0; o < NumOutcomes; o++ {
+		out.Counts[Outcome(o).String()] = r.Counts[o]
+	}
+	if r.Policy != nil {
+		out.Policy = &policyJSON{
+			Objects:        r.Policy.Objects,
+			AtIterationEnd: r.Policy.AtIterationEnd,
+			AtRegionEnds:   r.Policy.AtRegionEnds,
+			Frequency:      r.Policy.Frequency,
+			Op:             r.Policy.Op.String(),
+		}
+	}
+	for i, t := range r.Tests {
+		tj := trialJSON{
+			Index:              i,
+			CrashAccess:        t.CrashAccess,
+			CrashRegion:        t.CrashRegion,
+			CrashIter:          t.CrashIter,
+			Outcome:            t.Outcome.String(),
+			ExtraIters:         t.ExtraIters,
+			Inconsistency:      t.Inconsistency,
+			FinalResult:        t.FinalResult,
+			Media:              injectionJSON(t.Media),
+			ScrubbedObjects:    t.ScrubbedObjects,
+			Err:                t.Err,
+			Violations:         t.Violations,
+			Depth:              t.Depth,
+			Retries:            t.Retries,
+			FinalInconsistency: nil,
+		}
+		if t.Depth > 0 {
+			tj.FinalInconsistency = t.FinalInconsistency
+			tj.Chain = make([]chainJSON, len(t.Chain))
+			for l, c := range t.Chain {
+				tj.Chain[l] = chainJSON{Access: c.Access, Region: c.Region, Iter: c.Iter, Media: injectionJSON(c.Media)}
+			}
+		}
+		out.Trials[i] = tj
+	}
+	return out
+}
+
+// JSON serializes the report to indented, byte-stable JSON: the same campaign
+// always produces the same bytes, so serialized reports can be diffed and
+// golden-pinned.
+func (r *Report) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r.toJSON(), "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteJSON writes the stable serialization to w.
+func (r *Report) WriteJSON(w io.Writer) error {
+	b, err := r.JSON()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}

@@ -1,0 +1,70 @@
+package nvct_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"easycrash/internal/nvct"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// checkJSONGolden serializes the report and compares it byte-for-byte against
+// the named golden file. Run with -update to regenerate after a deliberate
+// format or behaviour change.
+func checkJSONGolden(t *testing.T, rep *nvct.Report, name string) {
+	t.Helper()
+	got, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, again) {
+		t.Fatal("JSON() is not byte-stable across calls")
+	}
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with: go test ./internal/nvct/ -run TestReportJSONGolden -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("serialized report differs from %s; run with -update after a deliberate change\ngot:\n%s", path, got)
+	}
+}
+
+// TestReportJSONGolden pins the wire format of the stable report
+// serialization: a classic policy campaign (policy block, inconsistency and
+// final-result vectors) and a nested KV oracle campaign under media faults
+// (violations, chains, media injections, scrub counts) — together they
+// populate every field of the DTOs.
+func TestReportJSONGolden(t *testing.T) {
+	t.Run("policy", func(t *testing.T) {
+		policy := nvct.IterationPolicy([]string{"u", "scal"})
+		rep := tester(t, "lu").RunCampaign(policy, nvct.CampaignOpts{Tests: 6, Seed: 17, Parallel: 1})
+		checkJSONGolden(t, rep, "report_policy.golden.json")
+	})
+	t.Run("kv-oracle", func(t *testing.T) {
+		opts := nvct.CampaignOpts{
+			Tests: 8, Seed: 21, Parallel: 1,
+			Faults: kvFaults(), ScrubOnRestart: true, RecrashDepth: 2,
+		}
+		rep := tester(t, "pmemkv-bug").RunCampaign(nil, opts)
+		checkJSONGolden(t, rep, "report_kv.golden.json")
+	})
+}

@@ -59,6 +59,7 @@ func (t *Tester) runChain(ctx context.Context, ps phase1State, trialSeed int64, 
 		budget = opts.RecrashDepth + 1
 	}
 	dump, poison := ps.dump, ps.poison
+	journal := ps.journal      // merged ack journal across the chain's lives
 	firstIter := ps.crash.Iter // progress when the first power loss hit
 	prevIter := ps.crash.Iter  // progress when the latest power loss hit
 	var work int64             // iterations executed across recovery attempts
@@ -78,7 +79,7 @@ func (t *Tester) runChain(ctx context.Context, ps phase1State, trialSeed int64, 
 		if res.Depth <= opts.RecrashDepth {
 			arm = 1 + uint64(trng.Int63n(int64(space)))
 		}
-		st := t.restartOnce(ctx, dump, poison, prevIter, opts.ScrubOnRestart, deadline, deadlineErr, arm, ps.inj, opts.Verified)
+		st := t.restartOnce(ctx, dump, poison, prevIter, journal, opts.ScrubOnRestart, deadline, deadlineErr, arm, ps.inj, opts.Verified)
 		res.ScrubbedObjects += st.scrubbed
 		if st.crash != nil {
 			// Crashed again: record the level and restart from the new
@@ -89,11 +90,16 @@ func (t *Tester) runChain(ctx context.Context, ps phase1State, trialSeed int64, 
 			work += st.crash.Iter - st.from
 			t.putDump(dump)
 			dump, poison = st.dump, st.poison
+			journal = st.journal
 			prevIter = st.crash.Iter
 			continue
 		}
 		res.Outcome = st.outcome
 		res.FinalResult = st.final
+		res.Violations = st.violations
+		if st.detected != "" {
+			res.Err = st.detected
+		}
 		switch st.outcome {
 		case S1, S2, S4:
 			// Extra iterations of the whole chain: recovery work executed

@@ -16,6 +16,13 @@
 //	SDue — a detected-uncorrectable media error struck restart-critical data
 //	SErr — the test itself errored (panic, per-test deadline)
 //
+// Kernels with client-visible persistence semantics (the persistent KV
+// workload, apps.ConsistencyKernel) are additionally audited after every
+// recovery against the acknowledged-operations journal the engine carries
+// across each power loss (a WITCHER-style crash-consistency oracle):
+//
+//	SViol — recovery silently broke an acknowledged-durability promise
+//
 // A Tester owns one golden (undisturbed) run; campaigns of crash tests are
 // then run against different persistence policies.
 package nvct
@@ -57,10 +64,18 @@ const (
 	// simulated crash protocol or exceeded its per-test deadline. The
 	// campaign records it and continues.
 	SErr
+	// SViol is a crash-consistency violation caught by the campaign's
+	// WITCHER-style oracle: recovery completed, but the recovered state lies
+	// about acknowledged operations — an acked write lost, a key regressed
+	// to a stale value, or a never-acked value visible. Only kernels
+	// implementing apps.ConsistencyKernel (the persistent KV workload) can
+	// produce it; recomputation kernels have no acknowledgement semantics to
+	// violate.
+	SViol
 
 	// NumOutcomes is the number of outcome classes (the size of
 	// Report.Counts).
-	NumOutcomes = int(SErr) + 1
+	NumOutcomes = int(SViol) + 1
 )
 
 // String returns the paper's label for the outcome (or the extension's).
@@ -78,6 +93,8 @@ func (o Outcome) String() string {
 		return "DUE"
 	case SErr:
 		return "ERR"
+	case SViol:
+		return "VIOL"
 	}
 	return fmt.Sprintf("Outcome(%d)", int(o))
 }
@@ -231,9 +248,14 @@ type TestResult struct {
 	// were poisoned. In a nested-failure trial it totals scrubs across all
 	// recovery attempts.
 	ScrubbedObjects int
-	// Err holds the engine error behind an SErr outcome (or the named
-	// failure mode behind a budget-exhausted S3).
+	// Err holds the engine error behind an SErr outcome, the named failure
+	// mode behind a budget-exhausted S3, or the workload's own detected
+	// recovery failure behind an oracle-audited S3.
 	Err string
+	// Violations lists the crash-consistency violations behind an SViol
+	// outcome, as reported by the kernel's post-recovery audit
+	// (apps.ConsistencyKernel). Empty for every other outcome.
+	Violations []string
 
 	// The remaining fields are populated only by nested-failure campaigns
 	// (CampaignOpts.RecrashDepth > 0); classic campaigns leave them zero so
@@ -354,6 +376,16 @@ func (r *Report) MediaErrorCounts() (due, silentCaught, silentMissed int) {
 		}
 	}
 	return due, silentCaught, silentMissed
+}
+
+// ConsistencyViolations returns the number of SViol tests and the total
+// count of individual violations their audits listed.
+func (r *Report) ConsistencyViolations() (tests, listed int) {
+	tests = r.Counts[SViol]
+	for _, t := range r.Tests {
+		listed += len(t.Violations)
+	}
+	return tests, listed
 }
 
 // InconsistencyVectors extracts, for each candidate object, the paired
@@ -641,85 +673,18 @@ func (t *Tester) RunCampaign(policy *Policy, opts CampaignOpts) *Report {
 // leaked. A non-cancellation error (invalid fault configuration, failed
 // tick-profile run) returns a nil report.
 func (t *Tester) RunCampaignContext(ctx context.Context, policy *Policy, opts CampaignOpts) (*Report, error) {
-	if err := opts.Faults.Validate(); err != nil {
+	plan, err := t.planCampaign(policy, &opts)
+	if err != nil {
 		return nil, err
 	}
-	if opts.RecrashDepth < 0 {
-		return nil, fmt.Errorf("nvct: negative re-crash depth %d", opts.RecrashDepth)
-	}
-	if opts.RetryBudget < 0 {
-		return nil, fmt.Errorf("nvct: negative retry budget %d", opts.RetryBudget)
-	}
-	if opts.TrialDeadline < 0 {
-		return nil, fmt.Errorf("nvct: negative trial deadline %v", opts.TrialDeadline)
-	}
-	if opts.Tests <= 0 {
-		opts.Tests = 100
-	}
+	space, points := plan.space, plan.points
+	seedAt, trialSeedAt := plan.seedAt, plan.trialSeedAt
 	workers := opts.Parallel
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > opts.Tests {
 		workers = opts.Tests
-	}
-
-	// Crash points are drawn serially so the campaign is reproducible
-	// independent of scheduling. With crash-eligible persistence the tick
-	// space includes the policy's flush work, measured by one profile run;
-	// a failing profile run must not silently skew the crash-point
-	// distribution back to demand-only ticks, so it fails the campaign.
-	space := t.golden.MainAccesses
-	if opts.CrashDuringPersistence {
-		g, err := t.profileTicks(policy)
-		if err != nil {
-			return nil, fmt.Errorf("nvct: profiling crash-eligible tick space: %w", err)
-		}
-		if g > 0 {
-			space = g
-		}
-	}
-	if space == 0 {
-		// rand.Int63n(0) would panic; surface a diagnosable campaign error.
-		return nil, fmt.Errorf("%w (kernel %s)", ErrEmptyCrashSpace, t.name)
-	}
-	rng := rand.New(rand.NewSource(opts.Seed))
-	points := make([]uint64, opts.Tests)
-	for i := range points {
-		points[i] = 1 + uint64(rng.Int63n(int64(space)))
-	}
-	// Per-test fault seeds are drawn serially after the crash points, so a
-	// fault campaign is deterministic across Parallel settings and a
-	// zero-fault campaign draws exactly the sequence it always did.
-	var faultSeeds []int64
-	if opts.Faults.Enabled() {
-		faultSeeds = make([]int64, opts.Tests)
-		for i := range faultSeeds {
-			faultSeeds[i] = rng.Int63()
-		}
-	}
-	seedAt := func(i int) int64 {
-		if faultSeeds == nil {
-			return 0
-		}
-		return faultSeeds[i]
-	}
-	// Per-trial seeds drive the crash points of every deeper level of a
-	// nested-failure chain. They are drawn serially after the fault seeds,
-	// so nested campaigns are deterministic across Parallel settings and a
-	// depth-0 campaign draws exactly the sequence it always did.
-	var trialSeeds []int64
-	if opts.RecrashDepth > 0 {
-		trialSeeds = make([]int64, opts.Tests)
-		for i := range trialSeeds {
-			trialSeeds[i] = rng.Int63()
-		}
-	}
-	trialSeedAt := func(i int) int64 {
-		if trialSeeds == nil {
-			return 0
-		}
-		return trialSeeds[i]
 	}
 
 	rep := &Report{
@@ -803,6 +768,120 @@ func (t *Tester) RunCampaignContext(ctx context.Context, policy *Policy, opts Ca
 		rep.Counts[res.Outcome]++
 	}
 	return rep, ctx.Err()
+}
+
+// campaignPlan is the serially drawn, seed-derived state of one campaign:
+// the crash-point space and the per-test crash points, fault seeds and trial
+// seeds. RunCampaignContext and ReproTrial derive it through the same code,
+// so a repro re-runs exactly the trial the campaign ran.
+type campaignPlan struct {
+	space      uint64
+	points     []uint64
+	faultSeeds []int64
+	trialSeeds []int64
+}
+
+func (p *campaignPlan) seedAt(i int) int64 {
+	if p.faultSeeds == nil {
+		return 0
+	}
+	return p.faultSeeds[i]
+}
+
+func (p *campaignPlan) trialSeedAt(i int) int64 {
+	if p.trialSeeds == nil {
+		return 0
+	}
+	return p.trialSeeds[i]
+}
+
+// planCampaign validates opts (applying the default campaign size in place)
+// and draws the campaign's plan from its seed.
+func (t *Tester) planCampaign(policy *Policy, opts *CampaignOpts) (campaignPlan, error) {
+	if err := opts.Faults.Validate(); err != nil {
+		return campaignPlan{}, err
+	}
+	if opts.RecrashDepth < 0 {
+		return campaignPlan{}, fmt.Errorf("nvct: negative re-crash depth %d", opts.RecrashDepth)
+	}
+	if opts.RetryBudget < 0 {
+		return campaignPlan{}, fmt.Errorf("nvct: negative retry budget %d", opts.RetryBudget)
+	}
+	if opts.TrialDeadline < 0 {
+		return campaignPlan{}, fmt.Errorf("nvct: negative trial deadline %v", opts.TrialDeadline)
+	}
+	if opts.Tests <= 0 {
+		opts.Tests = 100
+	}
+
+	// Crash points are drawn serially so the campaign is reproducible
+	// independent of scheduling. With crash-eligible persistence the tick
+	// space includes the policy's flush work, measured by one profile run;
+	// a failing profile run must not silently skew the crash-point
+	// distribution back to demand-only ticks, so it fails the campaign.
+	space := t.golden.MainAccesses
+	if opts.CrashDuringPersistence {
+		g, err := t.profileTicks(policy)
+		if err != nil {
+			return campaignPlan{}, fmt.Errorf("nvct: profiling crash-eligible tick space: %w", err)
+		}
+		if g > 0 {
+			space = g
+		}
+	}
+	if space == 0 {
+		// rand.Int63n(0) would panic; surface a diagnosable campaign error.
+		return campaignPlan{}, fmt.Errorf("%w (kernel %s)", ErrEmptyCrashSpace, t.name)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	plan := campaignPlan{space: space, points: make([]uint64, opts.Tests)}
+	for i := range plan.points {
+		plan.points[i] = 1 + uint64(rng.Int63n(int64(space)))
+	}
+	// Per-test fault seeds are drawn serially after the crash points, so a
+	// fault campaign is deterministic across Parallel settings and a
+	// zero-fault campaign draws exactly the sequence it always did.
+	if opts.Faults.Enabled() {
+		plan.faultSeeds = make([]int64, opts.Tests)
+		for i := range plan.faultSeeds {
+			plan.faultSeeds[i] = rng.Int63()
+		}
+	}
+	// Per-trial seeds drive the crash points of every deeper level of a
+	// nested-failure chain. They are drawn serially after the fault seeds,
+	// so nested campaigns are deterministic across Parallel settings and a
+	// depth-0 campaign draws exactly the sequence it always did.
+	if opts.RecrashDepth > 0 {
+		plan.trialSeeds = make([]int64, opts.Tests)
+		for i := range plan.trialSeeds {
+			plan.trialSeeds[i] = rng.Int63()
+		}
+	}
+	return plan, nil
+}
+
+// ReproTrial re-derives the campaign plan for (policy, opts) and re-runs the
+// single trial at the given index on the live engine, returning its result —
+// the postmortem a campaign line like "test 17: VIOL" calls for. The result
+// is byte-identical to Tests[index] of the full campaign with the same
+// options: trials are independent and both engines produce identical records.
+// The error is ctx.Err() when the trial was cancelled mid-run.
+func (t *Tester) ReproTrial(ctx context.Context, policy *Policy, opts CampaignOpts, index int) (TestResult, error) {
+	plan, err := t.planCampaign(policy, &opts)
+	if err != nil {
+		return TestResult{}, err
+	}
+	if index < 0 || index >= opts.Tests {
+		return TestResult{}, fmt.Errorf("nvct: trial index %d outside campaign of %d tests", index, opts.Tests)
+	}
+	res, keep := t.runOneIsolated(ctx, policy, plan.points[index], plan.seedAt(index), plan.trialSeedAt(index), plan.space, opts)
+	if !keep {
+		if err := ctx.Err(); err != nil {
+			return TestResult{}, err
+		}
+		return TestResult{}, errors.New("nvct: trial discarded without cancellation")
+	}
+	return res, nil
 }
 
 // runOneIsolated runs one crash test (a whole crash chain in nested mode),
@@ -899,6 +978,11 @@ type phase1State struct {
 	dump   []byte
 	poison map[uint64]struct{}
 	inj    *faultmodel.Injector
+	// journal is the kernel's acknowledged-operations journal snapshot,
+	// taken while the crashed instance's volatile state was still intact;
+	// nil for kernels without consistency semantics. The recovery phase
+	// audits the restarted state against it.
+	journal apps.AckJournal
 }
 
 // runPhase1 runs the initial life of a crash test until the armed crash
@@ -927,6 +1011,12 @@ func (t *Tester) runPhase1(ctx context.Context, policy *Policy, crashAt uint64, 
 		t.putMachine(m)
 		return phase1State{}, &TestResult{CrashAccess: crashAt, CrashRegion: sim.NoRegion, Outcome: S1}
 	}
+	// The crash unwound the kernel's stack but its Go-side state is intact:
+	// snapshot the ack journal now, before the machine is recycled.
+	var journal apps.AckJournal
+	if ck, ok := k.(apps.ConsistencyKernel); ok {
+		journal = ck.Journal()
+	}
 
 	// Postmortem: per-candidate inconsistency, then the durable dump. The
 	// media-fault layer mutates the image before the dump is taken — what
@@ -950,7 +1040,7 @@ func (t *Tester) runPhase1(ctx context.Context, policy *Policy, crashAt uint64, 
 	// Phase 1 is done with the machine; the restart phase (usually on the
 	// same worker) picks it straight back up from the pool.
 	t.putMachine(m)
-	return phase1State{crash: crash, inc: inc, media: media, dump: dump, poison: poison, inj: inj}, nil
+	return phase1State{crash: crash, inc: inc, media: media, dump: dump, poison: poison, inj: inj, journal: journal}, nil
 }
 
 // poisonSet collects the image's detected-uncorrectable blocks after an
@@ -990,12 +1080,16 @@ func (t *Tester) finishOne(ctx context.Context, ps phase1State, opts CampaignOpt
 	}
 
 	// Phase 2: restart from the dump.
-	st := t.restartOnce(ctx, ps.dump, ps.poison, ps.crash.Iter, opts.ScrubOnRestart, deadline, deadlineErr, 0, nil, false)
+	st := t.restartOnce(ctx, ps.dump, ps.poison, ps.crash.Iter, ps.journal, opts.ScrubOnRestart, deadline, deadlineErr, 0, nil, false)
 	t.putDump(ps.dump)
 	res.Outcome = st.outcome
 	res.ExtraIters = st.extra
 	res.FinalResult = st.final
 	res.ScrubbedObjects = st.scrubbed
+	res.Violations = st.violations
+	if st.detected != "" {
+		res.Err = st.detected
+	}
 	return res
 }
 
@@ -1028,12 +1122,23 @@ type attemptResult struct {
 	executed int64
 	scrubbed int
 	from     int64 // iteration the attempt resumed at
+	// violations carries the oracle audit's findings behind an SViol
+	// outcome; detected carries the workload's own loudly-reported recovery
+	// failure behind an S3.
+	violations []string
+	detected   string
 
 	crash  *sim.Crash
 	media  faultmodel.Injection
 	dump   []byte
 	poison map[uint64]struct{}
 	inc    map[string]float64
+	// journal is the ack journal the *next* attempt must audit against when
+	// the recovery crashed again: the merged acknowledgements of every life
+	// so far. nil once a scrub discarded state on purpose — the engine knows
+	// what it threw away, so later audits would report engine policy, not
+	// workload lies.
+	journal apps.AckJournal
 }
 
 // restartOnce re-initialises the application, reloads persisted objects from
@@ -1049,7 +1154,15 @@ type attemptResult struct {
 // composes with the media-fault layer and faults accumulate across the
 // chain. verified applies the copy-based verification drain before a
 // re-crash dump, mirroring phase 1.
-func (t *Tester) restartOnce(ctx context.Context, dump []byte, poison map[uint64]struct{}, crashIter int64, scrub bool, deadline time.Time, deadlineErr error, arm uint64, inj *faultmodel.Injector, verified bool) attemptResult {
+//
+// journal, when non-nil, is the acknowledged-operations journal of the
+// crashed life (merged across a chain's lives); the recovered state is
+// audited against it right after the kernel's own recovery, before the main
+// loop resumes. A detected recovery failure classifies S3 (the workload
+// failed loudly, correctly); a silent violation classifies SViol. The audit
+// is skipped after a scrub — re-initialising poisoned objects discards state
+// deliberately and accountably (ScrubbedObjects), which is not a lie.
+func (t *Tester) restartOnce(ctx context.Context, dump []byte, poison map[uint64]struct{}, crashIter int64, journal apps.AckJournal, scrub bool, deadline time.Time, deadlineErr error, arm uint64, inj *faultmodel.Injector, verified bool) attemptResult {
 	k := t.factory()
 	m := t.getMachine()
 	defer t.putMachine(m)
@@ -1091,6 +1204,24 @@ func (t *Tester) restartOnce(ctx context.Context, dump []byte, poison map[uint64
 	if r, ok := k.(Restarter); ok {
 		r.PostRestart(m, from)
 	}
+	if scrubbed > 0 {
+		// The scrub path re-initialised objects on purpose; what it discarded
+		// is accounted for, not lied about. Later lives of this trial skip the
+		// audit too — their baseline was knowingly thrown away.
+		journal = nil
+	}
+	if ck, ok := k.(apps.ConsistencyKernel); ok && journal != nil {
+		a := ck.Audit(m, journal)
+		if a.Detected != nil {
+			// The workload's own recovery found the durable state unreadable
+			// and refused to serve: a loud failure, classified as the
+			// interruption it is — never a silent violation.
+			return attemptResult{outcome: S3, scrubbed: scrubbed, from: from, detected: a.Detected.Error()}
+		}
+		if len(a.Violations) > 0 {
+			return attemptResult{outcome: SViol, scrubbed: scrubbed, from: from, violations: a.Violations}
+		}
+	}
 	if arm > 0 {
 		// Re-arm after the restore/scrub phase: the crash clock counts
 		// demand accesses of the recomputation only, and restore-phase
@@ -1107,6 +1238,11 @@ func (t *Tester) restartOnce(ctx context.Context, dump []byte, poison map[uint64
 		// The recovery itself lost power: take the same postmortem phase 1
 		// takes, and hand the next attempt the new durable state.
 		res := attemptResult{scrubbed: scrubbed, from: from, crash: crash}
+		if ck, ok := k.(apps.ConsistencyKernel); ok && journal != nil {
+			// This life acknowledged more operations before dying; the next
+			// attempt's audit must honour the union of every life's acks.
+			res.journal = journal.Merge(ck.Journal())
+		}
 		res.inc = make(map[string]float64, len(t.golden.Candidates))
 		for _, o := range t.golden.Candidates {
 			res.inc[o.Name] = m.InconsistencyRate(o)

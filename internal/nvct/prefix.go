@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"easycrash/internal/apps"
 	"easycrash/internal/sim"
 )
 
@@ -36,6 +37,10 @@ type forkJob struct {
 	idx   int // index into the campaign's points/results
 	snap  *sim.Snapshot
 	crash sim.Crash
+	// journal is the reference kernel's ack-journal snapshot at the fork
+	// point — exactly what a live crash at the same access would have
+	// captured, since the fork hook fires where the crash panic would.
+	journal apps.AckJournal
 }
 
 // runPrefixShared runs the campaign's tests off one shared reference
@@ -95,10 +100,14 @@ func (t *Tester) runPrefixShared(ctx context.Context, policy *Policy, points []u
 		setInterrupt(ctx, m, time.Time{}, errTestTimeout)
 		m.SetForkHook(func(c sim.Crash) uint64 {
 			snap := m.Fork()
+			var journal apps.AckJournal
+			if ck, ok := k.(apps.ConsistencyKernel); ok {
+				journal = ck.Journal()
+			}
 			p := points[order[pos]]
 			for pos < len(order) && points[order[pos]] == p {
 				select {
-				case jobs <- forkJob{idx: order[pos], snap: snap, crash: c}:
+				case jobs <- forkJob{idx: order[pos], snap: snap, crash: c, journal: journal}:
 				case <-ctx.Done():
 					return 0 // stop forking; queued jobs still drain
 				}
@@ -181,7 +190,7 @@ func (t *Tester) finishForked(ctx context.Context, j forkJob, trialSeed int64, s
 	t.putMachine(m)
 
 	crash := j.crash
-	ps := phase1State{crash: &crash, inc: inc, dump: dump}
+	ps := phase1State{crash: &crash, inc: inc, dump: dump, journal: j.journal}
 	if opts.RecrashDepth > 0 {
 		return t.runChain(ctx, ps, trialSeed, space, opts, time.Time{}, errTestTimeout)
 	}

@@ -1,0 +1,118 @@
+// The store's side of the campaign engine's crash-consistency oracle
+// (apps.ConsistencyKernel): the ack journal the engine carries across a
+// power loss, and the post-recovery audit that checks the recovered store
+// against it.
+package pmemkv
+
+import (
+	"fmt"
+
+	"easycrash/internal/apps"
+	"easycrash/internal/sim"
+)
+
+// maxListedViolations bounds how many per-key violations one audit spells
+// out; the remainder is summarised. A campaign report carries every trial's
+// violations, and a badly broken store can lose dozens of keys per crash.
+const maxListedViolations = 8
+
+// journal is the store's ack-journal snapshot: the workload is a fixed
+// deterministic op stream, so the client's durable view is fully described
+// by how many puts were acknowledged. Snapshots are immutable values.
+type journal struct {
+	acked int64
+}
+
+// Merge implements apps.AckJournal: acks are a prefix of the op stream in
+// every life, so the union of two snapshots is the larger prefix.
+func (j journal) Merge(other apps.AckJournal) apps.AckJournal {
+	if o, ok := other.(journal); ok && o.acked > j.acked {
+		return o
+	}
+	return j
+}
+
+// Journal implements apps.ConsistencyKernel.
+func (s *Store) Journal() apps.AckJournal { return journal{acked: s.acked} }
+
+// Audit implements apps.ConsistencyKernel: after recovery, every
+// acknowledged put must be visible at its key unless a later acknowledged
+// put overwrote it; no key may regress to a stale value; no value may
+// appear that was never acknowledged — except the single op that was in
+// flight (attempted, not yet acked) when the power failed.
+func (s *Store) Audit(m *sim.Machine, aj apps.AckJournal) apps.Audit {
+	if s.recoveryErr != nil {
+		return apps.Audit{Detected: s.recoveryErr}
+	}
+	j, ok := aj.(journal)
+	if !ok {
+		return apps.Audit{Detected: fmt.Errorf("pmemkv: foreign journal type %T", aj)}
+	}
+	exp := make([]int64, s.nKeys)
+	for seq := int64(0); seq < j.acked; seq++ {
+		exp[s.puts[seq].key] = s.puts[seq].val
+	}
+	inKey, inVal := -1, int64(0)
+	if j.acked < int64(len(s.puts)) {
+		inKey, inVal = s.puts[j.acked].key, s.puts[j.acked].val
+	}
+	var violations []string
+	extra := 0
+	for k := 0; k < s.nKeys; k++ {
+		vis := m.LoadI64(s.mt.Addr + uint64(k)*8)
+		if vis == exp[k] {
+			continue
+		}
+		if k == inKey && vis == inVal {
+			continue // the in-flight op may legitimately have become durable
+		}
+		if len(violations) < maxListedViolations {
+			violations = append(violations, s.classify(k, vis, exp[k], j.acked))
+		} else {
+			extra++
+		}
+	}
+	if extra > 0 {
+		violations = append(violations, fmt.Sprintf("... and %d more inconsistent keys", extra))
+	}
+	return apps.Audit{Violations: violations}
+}
+
+// classify names one per-key violation, in terms of the put stream so a
+// repro run can point at the exact operations involved.
+func (s *Store) classify(k int, vis, want, acked int64) string {
+	if vis == 0 {
+		return fmt.Sprintf("key %d: acked put %d (value %#x) lost, nothing visible",
+			k, s.lastPutBefore(k, acked), uint64(want))
+	}
+	for _, p := range s.byKey[k] {
+		if s.puts[p].val != vis {
+			continue
+		}
+		if int64(p) < acked {
+			return fmt.Sprintf("key %d: regressed to stale put %d (value %#x), expected put %d (value %#x)",
+				k, p, uint64(vis), s.lastPutBefore(k, acked), uint64(want))
+		}
+		return fmt.Sprintf("key %d: unacked put %d (value %#x) visible", k, p, uint64(vis))
+	}
+	return fmt.Sprintf("key %d: torn value %#x visible, expected %#x", k, uint64(vis), uint64(want))
+}
+
+// lastPutBefore returns the sequence number of the latest put on key below
+// bound, or -1 if none exists.
+func (s *Store) lastPutBefore(key int, bound int64) int64 {
+	seqs := s.byKey[key]
+	lo, hi := 0, len(seqs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int64(seqs[mid]) < bound {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return -1
+	}
+	return int64(seqs[lo-1])
+}

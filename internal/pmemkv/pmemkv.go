@@ -1,0 +1,387 @@
+// Package pmemkv is a small persistent key-value store built directly on the
+// simulated NVM machine — the workload class the paper's recomputation thesis
+// does not cover. The HPC kernels of package apps tolerate partial
+// inconsistency because a restart can recompute lost state; a KV store cannot:
+// once it acknowledges a write to a client, that write must survive any crash.
+//
+// Layout (all objects in simulated NVM, every access through the cache):
+//
+//   - wal     — append-only write-ahead log, one 32-byte record per put:
+//     [marker = seq+1, key, value, checksum]. Candidate.
+//   - walhead — the commit mark: [count, checksum(count)]. A put is
+//     acknowledged only after its record and the advanced commit
+//     mark are flushed (the correct variant's ordering). Candidate.
+//   - memtable— the lookup table, one value slot per key. Volatile in
+//     spirit: rebuilt from the log on every recovery, never restored.
+//   - it      — the engine's iteration bookmark, like every kernel.
+//
+// The store ships two variants behind one flag. The correct one flushes each
+// WAL record before advancing and flushing the commit mark — the
+// flush + fence discipline of NVM data persistence. The deliberately buggy
+// one ("pmemkv-bug") skips the record flush: the commit mark can reach the
+// media while the record it covers is still sitting in a volatile cache
+// line. Recovery then finds a hole below the commit mark, truncates the log
+// like any append-only store would, and silently forgets acknowledged
+// writes — exactly the class of crash-consistency bug the campaign oracle
+// (apps.ConsistencyKernel, WITCHER-style) exists to catch.
+package pmemkv
+
+import (
+	"fmt"
+
+	"easycrash/internal/apps"
+	"easycrash/internal/cachesim"
+	"easycrash/internal/mem"
+	"easycrash/internal/sim"
+)
+
+const (
+	recBytes = 32 // one WAL record: marker, key, value, checksum
+)
+
+func init() {
+	apps.Register("pmemkv", func(p apps.Profile) apps.Kernel { return New(p) })
+	apps.Register("pmemkv-bug", func(p apps.Profile) apps.Kernel { return NewBuggy(p) })
+}
+
+// putOp is one pre-generated put of the deterministic workload stream.
+type putOp struct {
+	key int
+	val int64
+}
+
+// Store is the KV store kernel. One instance is bound to one machine at a
+// time (apps.Kernel contract); the op stream is generated at construction so
+// every life of a crash test replays the identical client workload.
+type Store struct {
+	name  string
+	buggy bool
+
+	nKeys       int
+	nit         int64
+	putsPerIter int
+	getsPerIter int
+
+	puts   []putOp   // the put stream, indexed by sequence number
+	byKey  [][]int32 // ascending put sequence numbers per key
+	getPut []int32   // per get: the put whose key the client reads back
+
+	wal  mem.Object
+	head mem.Object
+	mt   mem.Object
+	it   mem.Object
+
+	// acked is the volatile ack journal: puts [0, acked) have been
+	// acknowledged to the client as durable. It models the client's view and
+	// deliberately lives outside simulated NVM.
+	acked int64
+	// replayed is how many log records the last recovery applied; the synced
+	// prefix the store believes in.
+	replayed int64
+	// recoveryErr is a detected recovery failure (corrupt commit mark or
+	// record, unreadable media); the store refuses to serve until resolved.
+	recoveryErr error
+}
+
+// New returns the correct store: WAL record flushed before the commit mark
+// advances — acknowledged writes are always recoverable.
+func New(p apps.Profile) *Store { return newStore(p, "pmemkv", false) }
+
+// NewBuggy returns the deliberately broken store: the record flush between
+// the WAL append and the commit-mark update is missing, so an acknowledged
+// write can vanish in a crash. The oracle must catch it; nothing else in the
+// store differs.
+func NewBuggy(p apps.Profile) *Store { return newStore(p, "pmemkv-bug", true) }
+
+func newStore(p apps.Profile, name string, buggy bool) *Store {
+	s := &Store{name: name, buggy: buggy}
+	switch p {
+	case apps.ProfileBench:
+		s.nKeys, s.nit, s.putsPerIter, s.getsPerIter = 8192, 12, 96, 48
+	default:
+		s.nKeys, s.nit, s.putsPerIter, s.getsPerIter = 1024, 10, 32, 16
+	}
+	nput := s.nit * int64(s.putsPerIter)
+	s.puts = make([]putOp, nput)
+	s.byKey = make([][]int32, s.nKeys)
+	rng := splitmix64(0x5157_4b56_0001)
+	for seq := range s.puts {
+		key := rng.intn(s.nKeys)
+		s.puts[seq] = putOp{key: key, val: opValue(int64(seq))}
+		s.byKey[key] = append(s.byKey[key], int32(seq))
+	}
+	s.getPut = make([]int32, s.nit*int64(s.getsPerIter))
+	g := 0
+	for it := int64(0); it < s.nit; it++ {
+		// A get reads back the key of some put issued so far — overwritten
+		// keys included, so regressions are observable.
+		seen := int((it + 1) * int64(s.putsPerIter))
+		for j := 0; j < s.getsPerIter; j++ {
+			s.getPut[g] = int32(rng.intn(seen))
+			g++
+		}
+	}
+	return s
+}
+
+// Name implements apps.Kernel.
+func (s *Store) Name() string { return s.name }
+
+// Description implements apps.Kernel.
+func (s *Store) Description() string {
+	if s.buggy {
+		return "Persistent KV store (WAL ordering bug: ack before record flush)"
+	}
+	return "Persistent KV store (WAL + commit mark, flush before ack)"
+}
+
+// RegionCount implements apps.Kernel: R0 ingest (puts), R1 lookup (gets).
+func (s *Store) RegionCount() int { return 2 }
+
+// NominalIters implements apps.Kernel.
+func (s *Store) NominalIters() int64 { return s.nit }
+
+// Convergent implements apps.Kernel.
+func (s *Store) Convergent() bool { return false }
+
+// IterObject implements apps.Kernel.
+func (s *Store) IterObject() mem.Object { return s.it }
+
+// Setup implements apps.Kernel.
+func (s *Store) Setup(m *sim.Machine) {
+	sp := m.Space()
+	s.wal = sp.Alloc("wal", uint64(len(s.puts))*recBytes, true)
+	s.head = sp.AllocI64("walhead", 2, true)
+	s.mt = sp.AllocI64("memtable", s.nKeys, false)
+	s.it = apps.AllocIter(m)
+}
+
+// Init implements apps.Kernel. The WAL itself is not written: its slots are
+// self-validating (marker + checksum) and the image guarantees fresh
+// allocations read as zero, which replay treats as the unsynced tail. The
+// empty commit mark is made durable immediately — a store that crashes
+// before its first put must recover to a valid empty log, not to an
+// unreadable one.
+func (s *Store) Init(m *sim.Machine) {
+	s.acked, s.replayed, s.recoveryErr = 0, 0, nil
+	mt := m.I64(s.mt)
+	for k := 0; k < s.nKeys; k++ {
+		mt.Set(k, 0)
+	}
+	m.StoreI64(s.head.Addr, 0)
+	m.StoreI64(s.head.Addr+8, headSum(0))
+	m.Hierarchy().Flush(s.head.Addr, s.head.Size, cachesim.CLWB)
+	m.I64(s.it).Set(0, 0)
+}
+
+// Run implements apps.Kernel: each iteration ingests a batch of puts (R0)
+// and serves a batch of client reads (R1) that verify what they see.
+func (s *Store) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
+	if s.recoveryErr != nil {
+		// Recovery found the durable log unreadable; serving would return
+		// arbitrary data. Fail loudly instead.
+		return 0, apps.ErrInterrupted
+	}
+	if maxIter > s.nit {
+		maxIter = s.nit
+	}
+	itv := m.I64(s.it)
+	m.MainLoopBegin()
+	defer m.MainLoopEnd()
+	var executed int64
+	for it := from; it < maxIter; it++ {
+		m.BeginIteration(it)
+
+		m.BeginRegion(0)
+		for j := 0; j < s.putsPerIter; j++ {
+			s.put(m, it*int64(s.putsPerIter)+int64(j))
+		}
+		m.EndRegion(0)
+
+		m.BeginRegion(1)
+		for j := 0; j < s.getsPerIter; j++ {
+			if !s.get(m, it, int64(j)) {
+				m.MainLoopEnd()
+				return executed, apps.ErrInterrupted
+			}
+		}
+		m.EndRegion(1)
+
+		itv.Set(0, it+1)
+		m.EndIteration(it)
+		executed++
+	}
+	return executed, nil
+}
+
+// put appends one record, persists it (correct variant only), advances and
+// persists the commit mark, acknowledges the write, then serves it from the
+// memtable. Re-executing an already-logged put after a restart rewrites the
+// identical bytes and never regresses the commit mark, so replayed history
+// is idempotent.
+func (s *Store) put(m *sim.Machine, seq int64) {
+	op := s.puts[seq]
+	base := s.wal.Addr + uint64(seq)*recBytes
+	m.StoreI64(base, seq+1)
+	m.StoreI64(base+8, int64(op.key))
+	m.StoreI64(base+16, op.val)
+	m.StoreI64(base+24, recSum(seq, int64(op.key), op.val))
+	if !s.buggy {
+		// Persist the record before the commit mark can cover it — the
+		// ordering discipline whose absence is the planted bug.
+		m.FlushRange(base, recBytes, cachesim.CLWB)
+	}
+	if h := m.LoadI64(s.head.Addr); seq+1 > h {
+		m.StoreI64(s.head.Addr, seq+1)
+		m.StoreI64(s.head.Addr+8, headSum(seq+1))
+	}
+	m.FlushRange(s.head.Addr, s.head.Size, cachesim.CLWB)
+	// The commit mark is durable: acknowledge. The ack is volatile Go state
+	// (the client's view); no simulated access separates it from the flush,
+	// so the only op a crash can catch between flush and ack is this one —
+	// the single in-flight op the oracle's audit allows for.
+	s.acked = seq + 1
+	m.StoreI64(s.mt.Addr+uint64(op.key)*8, op.val)
+}
+
+// get reads one key back and checks it against the deterministic client
+// expectation: the latest put on that key within the synced-and-re-executed
+// history. A mismatch is corrupted state the client can observe — the run is
+// interrupted (S3), never silently continued.
+func (s *Store) get(m *sim.Machine, it, j int64) bool {
+	p := s.getPut[it*int64(s.getsPerIter)+j]
+	key := s.puts[p].key
+	// What must be visible: every put below (it+1)*putsPerIter has executed
+	// in this life or an earlier one, and the recovery replay additionally
+	// restored the synced log prefix [0, replayed).
+	bound := (it + 1) * int64(s.putsPerIter)
+	if s.replayed > bound {
+		bound = s.replayed
+	}
+	want := s.latestBefore(key, bound)
+	return m.LoadI64(s.mt.Addr+uint64(key)*8) == want
+}
+
+// latestBefore returns the value of the latest put on key with sequence
+// number < bound, or 0 if the key had none.
+func (s *Store) latestBefore(key int, bound int64) int64 {
+	seqs := s.byKey[key]
+	lo, hi := 0, len(seqs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int64(seqs[mid]) < bound {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return s.puts[seqs[lo-1]].val
+}
+
+// PostRestart implements the engine's Restarter hook: it runs after Init and
+// candidate restore, before the main loop resumes.
+func (s *Store) PostRestart(m *sim.Machine, from int64) {
+	// The engine restores candidates by storing the dump through the cache,
+	// which leaves the restored bytes volatile — but on real hardware
+	// recovery maps the durable pool in place. Write the restored log back
+	// so durable state equals the dump before recovery begins: without
+	// this, a re-crash during recovery would lose data a previous life had
+	// made durable, charging the store for an engine artefact.
+	m.Hierarchy().Flush(s.wal.Addr, s.wal.Size, cachesim.CLWB)
+	m.Hierarchy().Flush(s.head.Addr, s.head.Size, cachesim.CLWB)
+	s.recoveryErr = s.replay(m)
+}
+
+// replay rebuilds the memtable from the durable log: validate the commit
+// mark, then apply records in order up to it. An all-zero slot is a hole —
+// the record never reached the media — and truncates the log exactly like an
+// append-only store truncates an unsynced tail; silent if the ordering
+// discipline held, a lost acknowledged write (the oracle's business) if it
+// did not. A non-zero record that fails validation, or an unreadable block,
+// is media damage the store detects and reports.
+func (s *Store) replay(m *sim.Machine) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			me, ok := r.(*mem.MediaError)
+			if !ok {
+				panic(r)
+			}
+			err = fmt.Errorf("pmemkv: replay hit detected-uncorrectable media: %w", me)
+		}
+	}()
+	s.replayed = 0
+	h := m.LoadI64(s.head.Addr)
+	hs := m.LoadI64(s.head.Addr + 8)
+	if h < 0 || h > int64(len(s.puts)) || hs != headSum(h) {
+		return fmt.Errorf("pmemkv: commit mark corrupt (head %d, checksum %#x)", h, uint64(hs))
+	}
+	for seq := int64(0); seq < h; seq++ {
+		base := s.wal.Addr + uint64(seq)*recBytes
+		marker := m.LoadI64(base)
+		key := m.LoadI64(base + 8)
+		val := m.LoadI64(base + 16)
+		ck := m.LoadI64(base + 24)
+		if marker == 0 && key == 0 && val == 0 && ck == 0 {
+			return nil // hole: truncate at the unsynced tail
+		}
+		if marker != seq+1 || key < 0 || key >= int64(s.nKeys) || ck != recSum(seq, key, val) {
+			return fmt.Errorf("pmemkv: WAL record %d corrupt below commit mark %d", seq, h)
+		}
+		m.StoreI64(s.mt.Addr+uint64(key)*8, val)
+		s.replayed = seq + 1
+	}
+	return nil
+}
+
+// Result implements apps.Kernel: an order-independent fold of the memtable
+// plus the commit mark. The fold keeps 52 bits so the float64 carries it
+// exactly.
+func (s *Store) Result(m *sim.Machine) []float64 {
+	mt := m.I64(s.mt)
+	acc := uint64(0x9e3779b97f4a7c15)
+	for k := 0; k < s.nKeys; k++ {
+		acc = mix(acc ^ mix(uint64(k)+1) ^ uint64(mt.At(k)))
+	}
+	return []float64{float64(acc >> 12), float64(m.LoadI64(s.head.Addr))}
+}
+
+// Verify implements apps.Kernel: exact match — a KV store has no tolerance
+// for approximation.
+func (s *Store) Verify(m *sim.Machine, golden []float64) bool {
+	got := s.Result(m)
+	return len(golden) == 2 && got[0] == golden[0] && got[1] == golden[1]
+}
+
+// opValue is the value put seq writes: unique per sequence number (a
+// bijective mix) and never zero, so the audit can tell lost, stale and
+// foreign values apart.
+func opValue(seq int64) int64 { return int64(mix(uint64(seq)+1) | 1) }
+
+// recSum is the per-record checksum.
+func recSum(seq, key, val int64) int64 {
+	return int64(mix(mix(uint64(seq+1)) + 3*mix(uint64(key)) + 5*mix(uint64(val))))
+}
+
+// headSum is the commit mark's checksum.
+func headSum(h int64) int64 { return int64(mix(uint64(h) ^ 0x4845414453554d21)) }
+
+// mix is the splitmix64 finalizer: a bijection on uint64 with avalanche.
+func mix(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// splitmix64 is the deterministic PRNG generating the op stream (same idiom
+// as the apps kernels; only reproducibility matters).
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	return mix(uint64(*s))
+}
+
+func (s *splitmix64) intn(n int) int { return int(s.next() % uint64(n)) }

@@ -470,6 +470,36 @@ func (m *Machine) FlushObject(o mem.Object, op cachesim.FlushOp) cachesim.FlushR
 	return r
 }
 
+// FlushRange persists an arbitrary address range with the given flush
+// instruction, counting one persistence operation. It is the primitive for
+// workloads whose persistence points live *inside* the computation rather
+// than at policy boundaries — e.g. a KV store flushing one WAL record and
+// fencing its commit mark before acknowledging a write. Like FlushObject,
+// the flush is not demand traffic unless SetFlushCrashEligible made
+// persistence interruptible, in which case each flushed block advances the
+// crash clock and a crash can strike between the blocks of the range.
+//
+// FlushRange models flush + fence: when it returns, every media write it
+// issued (and everything ordered before it) has drained to the persistence
+// domain, so the torn-write window is resynchronised — a crash at the next
+// demand access must not tear a block this fence already committed. Without
+// the fence semantics no write-ahead protocol could ever ack durably: the
+// commit flush itself would stay a tear target until an unrelated later
+// access ticked the crash clock. Policy-driven flushing (FlushObject,
+// FlushObjects) deliberately keeps the old window: those model unfenced
+// boundary flushes whose last write can still be in flight at the crash.
+func (m *Machine) FlushRange(addr, size uint64, op cachesim.FlushOp) cachesim.FlushResult {
+	r := m.flushRange(addr, size, op)
+	m.persist.Operations++
+	m.persist.BlocksIssued += r.Blocks
+	m.persist.DirtyFlushed += r.DirtyFlushed
+	m.persist.CleanFlushed += r.CleanFlushed
+	if m.faults != nil {
+		m.lastWriteSeq = m.faults.WriteSeq()
+	}
+	return r
+}
+
 // flushRange flushes [addr, addr+size), block by block when persistence is
 // crash-eligible so an armed crash can strike between block flushes.
 func (m *Machine) flushRange(addr, size uint64, op cachesim.FlushOp) cachesim.FlushResult {
