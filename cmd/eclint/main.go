@@ -2,16 +2,26 @@
 // patterns and reports violations of the simulation invariants: raw mem.Image
 // access that bypasses the cache hierarchy (directmem), unbalanced
 // region/iteration/main-loop markers (regionpairs), element-index arithmetic
-// missing the 8-byte stride (addrstride), and nondeterminism in campaign code
-// (campaigndet).
+// missing the 8-byte stride (addrstride), nondeterminism in campaign code
+// (campaigndet), and durable writes reaching a commit mark or acknowledgement
+// without a fenced flush (persistorder).
 //
 // Usage:
 //
-//	eclint [-list] [packages]
+//	eclint [-list] [-json] [-baseline file] [packages]
 //
-// With no arguments it analyzes ./... . It exits 1 if any unsuppressed
-// finding is reported and 0 on a clean tree; findings are suppressed with
-// //eclint:allow <analyzer> annotations (see internal/analysis).
+// With no arguments it analyzes ./... . It exits 1 if any unsuppressed,
+// unbaselined finding is reported and 0 on a clean tree; findings are
+// suppressed with //eclint:allow <analyzer> annotations (see
+// internal/analysis). Stale annotations that suppress nothing are themselves
+// findings.
+//
+// -json emits every finding — suppressed ones included, with their allow
+// reasons — as a JSON array of stable DTOs, so CI can assert not only that
+// the tree is clean but that a deliberate, annotated violation is still being
+// caught. -baseline diffs unsuppressed findings against a checked-in
+// baseline file (same JSON format): known findings are reported but do not
+// fail the run, new ones do.
 package main
 
 import (
@@ -27,9 +37,11 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit all findings (suppressed included) as a JSON array")
+	baselinePath := flag.String("baseline", "", "JSON baseline `file`; findings recorded there are reported but do not fail the run")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: eclint [-list] [packages]\n\n")
-		fmt.Fprintf(flag.CommandLine.Output(), "Analyzes the given Go package patterns (default ./...) and exits 1\non any finding not suppressed by an //eclint:allow annotation.\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: eclint [-list] [-json] [-baseline file] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Analyzes the given Go package patterns (default ./...) and exits 1\non any finding not suppressed by an //eclint:allow annotation and not\nrecorded in the baseline.\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -51,24 +63,45 @@ func main() {
 	if err != nil {
 		fatalf("eclint: %v", err)
 	}
+	var baseline analysis.Baseline
+	if *baselinePath != "" {
+		baseline, err = analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
 	pkgs, err := analysis.LoadPatterns(cwd, patterns...)
 	if err != nil {
 		fatalf("%v", err)
 	}
 
-	total := 0
+	var all []analysis.FindingJSON
+	failing := 0
 	for _, pkg := range pkgs {
 		findings, err := analysis.RunAnalyzers(pkg, analyzers)
 		if err != nil {
 			fatalf("%v", err)
 		}
 		for _, f := range findings {
-			fmt.Println(relativize(cwd, f))
-			total++
+			j := f.JSON(cwd)
+			j.Baselined = !f.Suppressed && baseline.Has(j)
+			all = append(all, j)
+			if f.Suppressed || j.Baselined {
+				continue
+			}
+			failing++
+			if !*jsonOut {
+				fmt.Println(relativize(cwd, f))
+			}
 		}
 	}
-	if total > 0 {
-		fmt.Fprintf(os.Stderr, "eclint: %d finding(s)\n", total)
+	if *jsonOut {
+		if err := analysis.WriteFindingsJSON(os.Stdout, all); err != nil {
+			fatalf("eclint: %v", err)
+		}
+	}
+	if failing > 0 {
+		fmt.Fprintf(os.Stderr, "eclint: %d finding(s)\n", failing)
 		os.Exit(1)
 	}
 }

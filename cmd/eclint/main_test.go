@@ -1,10 +1,14 @@
 package main_test
 
 import (
+	"encoding/json"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"easycrash/internal/analysis"
 )
 
 // buildEclint compiles the eclint binary into a scratch dir once per test
@@ -31,7 +35,7 @@ func TestSmokeBadFixture(t *testing.T) {
 	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
 		t.Fatalf("eclint on the bad fixture: want exit code 1, got %v\n%s", err, out)
 	}
-	for _, name := range []string{"addrstride", "campaigndet", "directmem", "regionpairs"} {
+	for _, name := range []string{"addrstride", "campaigndet", "directmem", "persistorder", "regionpairs"} {
 		if !strings.Contains(string(out), "("+name+")") {
 			t.Errorf("no %s finding in eclint output:\n%s", name, out)
 		}
@@ -64,9 +68,86 @@ func TestListFlag(t *testing.T) {
 	if err != nil {
 		t.Fatalf("eclint -list: %v\n%s", err, out)
 	}
-	for _, name := range []string{"addrstride", "campaigndet", "directmem", "regionpairs"} {
+	for _, name := range []string{"addrstride", "campaigndet", "directmem", "persistorder", "regionpairs"} {
 		if !strings.Contains(string(out), name) {
 			t.Errorf("eclint -list missing %s:\n%s", name, out)
 		}
+	}
+}
+
+// TestJSONOutput pins the machine-readable mode: -json on the bad fixture
+// still exits 1 but emits a parseable array covering every analyzer, and on
+// the real pmemkv package it exposes the suppressed deliberate-bug finding
+// with its allow reason — the hook CI's static↔dynamic cross-check hangs on.
+func TestJSONOutput(t *testing.T) {
+	bin := buildEclint(t)
+
+	out, err := exec.Command(bin, "-json", "./testdata/src/easycrash/internal/apps/badkernel").Output()
+	if err == nil {
+		t.Fatalf("eclint -json exited 0 on the bad fixture")
+	}
+	var findings []analysis.FindingJSON
+	if jsonErr := json.Unmarshal(out, &findings); jsonErr != nil {
+		t.Fatalf("eclint -json output is not a findings array: %v\n%s", jsonErr, out)
+	}
+	byAnalyzer := map[string]int{}
+	for _, f := range findings {
+		byAnalyzer[f.Analyzer]++
+		if f.Suppressed {
+			t.Errorf("bad fixture carries no allows, but finding is suppressed: %+v", f)
+		}
+	}
+	for _, name := range []string{"addrstride", "campaigndet", "directmem", "persistorder", "regionpairs"} {
+		if byAnalyzer[name] == 0 {
+			t.Errorf("no %s finding in -json output:\n%s", name, out)
+		}
+	}
+
+	root, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	cmd := exec.Command(bin, "-json", "./internal/pmemkv/")
+	cmd.Dir = strings.TrimSpace(string(root))
+	out, err = cmd.Output()
+	if err != nil {
+		t.Fatalf("eclint -json ./internal/pmemkv/ failed: %v\n%s", err, out)
+	}
+	if jsonErr := json.Unmarshal(out, &findings); jsonErr != nil {
+		t.Fatalf("parsing pmemkv findings: %v\n%s", jsonErr, out)
+	}
+	suppressed := 0
+	for _, f := range findings {
+		if f.Analyzer == "persistorder" && f.Suppressed && strings.Contains(f.AllowReason, "pmemkv-bug") {
+			suppressed++
+		}
+	}
+	if suppressed != 1 {
+		t.Errorf("want exactly 1 suppressed persistorder finding on pmemkv in -json output, got %d:\n%s", suppressed, out)
+	}
+}
+
+// TestBaselineFlag pins the diff contract end to end: freezing the bad
+// fixture's findings with -json and replaying them through -baseline turns
+// the failing run clean.
+func TestBaselineFlag(t *testing.T) {
+	bin := buildEclint(t)
+	fixture := "./testdata/src/easycrash/internal/apps/badkernel"
+
+	out, err := exec.Command(bin, "-json", fixture).Output()
+	if err == nil {
+		t.Fatalf("eclint -json exited 0 on the bad fixture")
+	}
+	baseline := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(baseline, out, 0o644); err != nil {
+		t.Fatalf("writing baseline: %v", err)
+	}
+
+	got, err := exec.Command(bin, "-baseline", baseline, fixture).CombinedOutput()
+	if err != nil {
+		t.Fatalf("eclint -baseline must tolerate baselined findings: %v\n%s", err, got)
+	}
+	if len(strings.TrimSpace(string(got))) != 0 {
+		t.Errorf("baselined run still printed findings:\n%s", got)
 	}
 }

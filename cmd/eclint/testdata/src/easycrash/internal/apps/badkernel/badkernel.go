@@ -30,3 +30,15 @@ func Step(m *sim.Machine, o mem.Object, n int) float64 {
 func Peek(im *mem.Image, o mem.Object) float64 {
 	return im.Float64At(o.Addr)
 }
+
+// kv violates the persistence-ordering contract: the commit mark covers a
+// WAL record that was never flushed (persistorder).
+type kv struct {
+	wal  mem.Object //persist:data
+	head mem.Object //persist:commit
+}
+
+func (s *kv) Put(m *sim.Machine, seq int64) {
+	m.StoreI64(s.wal.Addr+uint64(seq)*32, seq+1)
+	m.StoreI64(s.head.Addr, seq+1)
+}

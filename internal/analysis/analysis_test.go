@@ -1,0 +1,195 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"easycrash/internal/analysis"
+)
+
+// reportCalls builds an analyzer that reports one finding, with the given
+// message, at every call to the named function in the fixture.
+func reportCalls(name, fn, msg string, requireReason bool) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name:          name,
+		Doc:           "test analyzer reporting calls to " + fn,
+		RequireReason: requireReason,
+		Run: func(pass *analysis.Pass) error {
+			for _, file := range pass.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == fn {
+						pass.Reportf(call.Pos(), "%s", msg)
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+}
+
+// fixtureLines maps MARK comments (and one exact-text line) in the allowfix
+// fixture to line numbers, so assertions survive edits to the fixture.
+func fixtureLines(t *testing.T, path string) map[string]int {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading fixture: %v", err)
+	}
+	lines := map[string]int{}
+	for i, l := range strings.Split(string(data), "\n") {
+		if j := strings.Index(l, "MARK:"); j >= 0 {
+			lines[strings.Fields(l[j:])[0]] = i + 1
+		}
+		if strings.TrimSpace(l) == "//eclint:allow strict" {
+			lines["MARK:bareallow"] = i + 1
+		}
+	}
+	return lines
+}
+
+func runAllowFix(t *testing.T) ([]analysis.Finding, map[string]int) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", "allowfix")
+	pkg, err := analysis.LoadDir(dir, "easycrash/internal/allowfix/fixture")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	fake := reportCalls("fake", "mark", "call to mark", false)
+	strict := reportCalls("strict", "smark", "call to smark", true)
+	findings, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{fake, strict})
+	if err != nil {
+		t.Fatalf("RunAnalyzers: %v", err)
+	}
+	return findings, fixtureLines(t, filepath.Join(dir, "allowfix.go"))
+}
+
+// at returns the findings reported on the given fixture line.
+func at(findings []analysis.Finding, line int) []analysis.Finding {
+	var out []analysis.Finding
+	for _, f := range findings {
+		if f.Pos.Line == line {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// TestAllowAttachment pins the annotation attachment rule: trailing comment,
+// line above, and — the multi-line fix — line above the enclosing statement.
+func TestAllowAttachment(t *testing.T) {
+	findings, lines := runAllowFix(t)
+
+	cases := []struct {
+		name   string
+		line   int
+		reason string
+	}{
+		{"line above", lines["MARK:above"], "annotation on the line above"},
+		{"above multi-line statement", lines["MARK:multiline"], "annotation above the multi-line statement"},
+	}
+	for _, c := range cases {
+		fs := at(findings, c.line)
+		if len(fs) != 1 {
+			t.Fatalf("%s: want 1 finding at line %d, got %v", c.name, c.line, fs)
+		}
+		if !fs[0].Suppressed {
+			t.Errorf("%s: finding at line %d not suppressed: %v", c.name, c.line, fs[0])
+		}
+		if fs[0].AllowReason != c.reason {
+			t.Errorf("%s: reason = %q, want %q", c.name, fs[0].AllowReason, c.reason)
+		}
+	}
+
+	// The raw finding still reports, unsuppressed.
+	fs := at(findings, lines["MARK:unsuppressed"])
+	if len(fs) != 1 || fs[0].Suppressed {
+		t.Errorf("unsuppressed call: got %v", fs)
+	}
+
+	// The trailing-annotation form: exactly one suppressed finding somewhere
+	// with that reason.
+	found := false
+	for _, f := range findings {
+		if f.Suppressed && f.AllowReason == "trailing annotation" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no suppressed finding with the trailing annotation; findings: %v", findings)
+	}
+}
+
+// TestStaleAllowAudit pins the unused-suppression audit: an annotation that
+// suppresses nothing is itself a finding, while annotations addressed to
+// analyzers outside the run are ignored.
+func TestStaleAllowAudit(t *testing.T) {
+	findings, lines := runAllowFix(t)
+
+	fs := at(findings, lines["MARK:stale"])
+	if len(fs) != 1 {
+		t.Fatalf("want 1 audit finding at the stale allow, got %v", fs)
+	}
+	if fs[0].Analyzer != analysis.AuditName || !strings.Contains(fs[0].Message, "suppresses no fake finding") {
+		t.Errorf("stale allow audit finding = %v", fs[0])
+	}
+	for _, f := range findings {
+		if strings.Contains(f.Message, "notinrun") {
+			t.Errorf("allow for an analyzer outside the run was audited: %v", f)
+		}
+	}
+}
+
+// TestRequireReason pins justification enforcement: a bare allow for a
+// RequireReason analyzer suppresses nothing and is reported, a reasoned one
+// suppresses.
+func TestRequireReason(t *testing.T) {
+	findings, lines := runAllowFix(t)
+
+	fs := at(findings, lines["MARK:strictraw"])
+	if len(fs) != 1 || fs[0].Suppressed {
+		t.Fatalf("bare //eclint:allow strict must not suppress; findings at line %d: %v", lines["MARK:strictraw"], fs)
+	}
+	fs = at(findings, lines["MARK:bareallow"])
+	if len(fs) != 1 || fs[0].Analyzer != "strict" || !strings.Contains(fs[0].Message, "requires a justification") {
+		t.Fatalf("want a requires-a-justification finding at the bare allow, got %v", fs)
+	}
+
+	suppressed := 0
+	for _, f := range findings {
+		if f.Analyzer == "strict" && f.Suppressed {
+			suppressed++
+			if f.AllowReason != "justified deliberate violation" {
+				t.Errorf("reasoned strict allow: reason = %q", f.AllowReason)
+			}
+		}
+	}
+	if suppressed != 1 {
+		t.Errorf("want exactly 1 suppressed strict finding, got %d", suppressed)
+	}
+}
+
+// TestEffectivePath pins the testdata/src stripping rule, including the
+// path-starts-with-marker case.
+func TestEffectivePath(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"easycrash/internal/apps", "easycrash/internal/apps"},
+		{"x/testdata/src/easycrash/internal/apps", "easycrash/internal/apps"},
+		{"testdata/src/kernel", "kernel"},
+		{"a/testdata/src/b/testdata/src/c", "c"},
+		{"", ""},
+		{"testdata/srcx/kernel", "testdata/srcx/kernel"},
+	}
+	for _, c := range cases {
+		if got := analysis.EffectivePath(c.in); got != c.want {
+			t.Errorf("EffectivePath(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

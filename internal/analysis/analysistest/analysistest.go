@@ -30,7 +30,10 @@ import (
 func Run(t *testing.T, dir, importPath string, analyzers ...*analysis.Analyzer) {
 	t.Helper()
 	pkg, findings := load(t, dir, importPath, analyzers)
-	wants := collectWants(t, pkg)
+	wants, err := collectWants(pkg)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", dir, err)
+	}
 
 	for _, f := range findings {
 		key := posKey{f.Pos.Filename, f.Pos.Line}
@@ -50,11 +53,19 @@ func Run(t *testing.T, dir, importPath string, analyzers ...*analysis.Analyzer) 
 // Findings loads the fixture package in dir under importPath and returns the
 // raw findings, ignoring want comments. Scope tests use it to prove an
 // analyzer stays silent when the same fixture is loaded under an
-// out-of-scope import path.
+// out-of-scope import path; stale-allow audit findings are filtered out,
+// because out of scope every allow is trivially stale — that is the
+// framework speaking, not the analyzer under test.
 func Findings(t *testing.T, dir, importPath string, analyzers ...*analysis.Analyzer) []analysis.Finding {
 	t.Helper()
 	_, findings := load(t, dir, importPath, analyzers)
-	return findings
+	var out []analysis.Finding
+	for _, f := range findings {
+		if f.Analyzer != analysis.AuditName {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 func load(t *testing.T, dir, importPath string, analyzers []*analysis.Analyzer) (*analysis.Package, []analysis.Finding) {
@@ -63,9 +74,18 @@ func load(t *testing.T, dir, importPath string, analyzers []*analysis.Analyzer) 
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", dir, err)
 	}
-	findings, err := analysis.RunAnalyzers(pkg, analyzers)
+	all, err := analysis.RunAnalyzers(pkg, analyzers)
 	if err != nil {
 		t.Fatalf("running analyzers on %s: %v", dir, err)
+	}
+	// Suppressed findings are invisible to fixtures, like they are to
+	// cmd/eclint's exit code: a fixture line under an //eclint:allow needs no
+	// want comment.
+	var findings []analysis.Finding
+	for _, f := range all {
+		if !f.Suppressed {
+			findings = append(findings, f)
+		}
 	}
 	return pkg, findings
 }
@@ -92,10 +112,13 @@ func (w wantMap) match(key posKey, message string) bool {
 	return false
 }
 
-var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+// wantRe matches any comment that *claims* to be a want comment, including
+// degenerate ones with nothing after the keyword. Matching broadly and then
+// validating is what makes malformed wants fail loudly: a want that silently
+// matched nothing would let an analyzer regress without failing its fixture.
+var wantRe = regexp.MustCompile(`//\s*want\b(.*)$`)
 
-func collectWants(t *testing.T, pkg *analysis.Package) wantMap {
-	t.Helper()
+func collectWants(pkg *analysis.Package) (wantMap, error) {
 	wants := wantMap{}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -107,18 +130,21 @@ func collectWants(t *testing.T, pkg *analysis.Package) wantMap {
 				pos := pkg.Fset.Position(c.Pos())
 				key := posKey{pos.Filename, pos.Line}
 				rest := strings.TrimSpace(m[1])
+				if rest == "" {
+					return nil, fmt.Errorf("%s:%d: malformed want comment %q: no pattern after the keyword", pos.Filename, pos.Line, c.Text)
+				}
 				for rest != "" {
 					lit, err := strconv.QuotedPrefix(rest)
 					if err != nil {
-						t.Fatalf("%s:%d: malformed want comment %q: %v", pos.Filename, pos.Line, c.Text, err)
+						return nil, fmt.Errorf("%s:%d: malformed want comment %q: pattern is not a Go string literal: %w", pos.Filename, pos.Line, c.Text, err)
 					}
 					pattern, err := strconv.Unquote(lit)
 					if err != nil {
-						t.Fatalf("%s:%d: unquoting %s: %v", pos.Filename, pos.Line, lit, err)
+						return nil, fmt.Errorf("%s:%d: unquoting %s: %w", pos.Filename, pos.Line, lit, err)
 					}
 					rx, err := regexp.Compile(pattern)
 					if err != nil {
-						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pattern, err)
+						return nil, fmt.Errorf("%s:%d: bad want pattern %q: %w", pos.Filename, pos.Line, pattern, err)
 					}
 					wants[key] = append(wants[key], &expectation{rx: rx})
 					rest = strings.TrimSpace(rest[len(lit):])
@@ -126,7 +152,7 @@ func collectWants(t *testing.T, pkg *analysis.Package) wantMap {
 			}
 		}
 	}
-	return wants
+	return wants, nil
 }
 
 // String formats a finding list for debugging test failures.

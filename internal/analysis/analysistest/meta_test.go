@@ -1,0 +1,76 @@
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"easycrash/internal/analysis"
+)
+
+// loadSource writes one fixture file into a temp dir and loads it.
+func loadSource(t *testing.T, src string) *analysis.Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "fix.go"), []byte(src), 0o644); err != nil {
+		t.Fatalf("writing fixture: %v", err)
+	}
+	pkg, err := analysis.LoadDir(dir, "fix")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	return pkg
+}
+
+// TestMalformedWantFailsLoudly is the harness meta-test: a want comment that
+// cannot possibly match anything must be an error, never a silent no-op —
+// otherwise a future analyzer's fixture can pass while pinning nothing.
+func TestMalformedWantFailsLoudly(t *testing.T) {
+	cases := []struct {
+		name    string
+		comment string
+		errLike string
+	}{
+		{"bare keyword", "// want", "no pattern after the keyword"},
+		{"unquoted pattern", "// want not-a-literal", "not a Go string literal"},
+		{"bad regexp", "// want `(`", "bad want pattern"},
+		{"trailing junk after literal", "// want \"x\" junk", "not a Go string literal"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			pkg := loadSource(t, "package fix\n\nfunc f() {} "+c.comment+"\n")
+			_, err := collectWants(pkg)
+			if err == nil {
+				t.Fatalf("collectWants accepted malformed comment %q", c.comment)
+			}
+			if !strings.Contains(err.Error(), c.errLike) {
+				t.Errorf("error %q does not mention %q", err, c.errLike)
+			}
+		})
+	}
+}
+
+// TestWellFormedWants pins the accepted forms, so tightening the malformed
+// detection cannot eat legitimate fixtures.
+func TestWellFormedWants(t *testing.T) {
+	pkg := loadSource(t, strings.Join([]string{
+		"package fix",
+		"",
+		"func f() {} // want `one`",
+		"func g() {} // want \"two\" `three`",
+		"// a prose comment mentioning that we want nothing here",
+		"func h() {}",
+	}, "\n"))
+	wants, err := collectWants(pkg)
+	if err != nil {
+		t.Fatalf("collectWants: %v", err)
+	}
+	n := 0
+	for _, exps := range wants {
+		n += len(exps)
+	}
+	if n != 3 {
+		t.Errorf("want 3 expectations, got %d (%v)", n, wants)
+	}
+}

@@ -1,0 +1,95 @@
+// Machine-readable findings: a stable JSON DTO for eclint output plus a
+// baseline mechanism so CI can gate on *new* findings only. The same array
+// format serves both purposes — `eclint -json ./... > .eclint-baseline.json`
+// freezes the current findings as the baseline a later `-baseline` run diffs
+// against.
+
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// FindingJSON is the stable serialised form of one Finding. Field names are
+// a compatibility contract: CI scripts and the checked-in baseline parse
+// them.
+type FindingJSON struct {
+	Analyzer    string `json:"analyzer"`
+	File        string `json:"file"`
+	Line        int    `json:"line"`
+	Column      int    `json:"column"`
+	Message     string `json:"message"`
+	Suppressed  bool   `json:"suppressed"`
+	AllowReason string `json:"allowReason,omitempty"`
+	// Baselined marks an unsuppressed finding that the baseline file already
+	// records; it is reported but does not fail the run.
+	Baselined bool `json:"baselined,omitempty"`
+}
+
+// JSON converts a Finding for serialisation, with the file name rewritten
+// relative to dir when it lies below it (keeping baselines portable across
+// checkouts).
+func (f Finding) JSON(dir string) FindingJSON {
+	file := f.Pos.Filename
+	if dir != "" {
+		if rel, err := filepath.Rel(dir, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+	}
+	return FindingJSON{
+		Analyzer:    f.Analyzer,
+		File:        file,
+		Line:        f.Pos.Line,
+		Column:      f.Pos.Column,
+		Message:     f.Message,
+		Suppressed:  f.Suppressed,
+		AllowReason: f.AllowReason,
+	}
+}
+
+// BaselineKey identifies a finding for baseline matching. Line and column
+// are deliberately excluded: edits above a known finding move it without
+// making it new.
+func (f FindingJSON) BaselineKey() string {
+	return f.Analyzer + "\x00" + f.File + "\x00" + f.Message
+}
+
+// WriteFindingsJSON serialises findings (an empty slice encodes as [], never
+// null) with stable indentation.
+func WriteFindingsJSON(w io.Writer, findings []FindingJSON) error {
+	if findings == nil {
+		findings = []FindingJSON{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(findings)
+}
+
+// Baseline is the set of known findings CI tolerates.
+type Baseline map[string]bool
+
+// LoadBaseline reads a baseline file (a JSON array of FindingJSON, as
+// emitted by eclint -json).
+func LoadBaseline(path string) (Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading baseline: %w", err)
+	}
+	var findings []FindingJSON
+	if err := json.Unmarshal(data, &findings); err != nil {
+		return nil, fmt.Errorf("analysis: parsing baseline %s: %w", path, err)
+	}
+	b := make(Baseline, len(findings))
+	for _, f := range findings {
+		b[f.BaselineKey()] = true
+	}
+	return b, nil
+}
+
+// Has reports whether the baseline records f.
+func (b Baseline) Has(f FindingJSON) bool { return b[f.BaselineKey()] }

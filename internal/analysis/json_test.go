@@ -1,0 +1,99 @@
+package analysis_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"easycrash/internal/analysis"
+)
+
+func sample() analysis.Finding {
+	return analysis.Finding{
+		Analyzer: "persistorder",
+		Pos:      token.Position{Filename: "/repo/internal/pmemkv/pmemkv.go", Line: 225, Column: 2},
+		Message:  "store reaches the commit mark without a fenced flush",
+	}
+}
+
+// TestFindingJSONRelativize pins the DTO shape and the file relativization
+// that keeps baselines portable across checkouts.
+func TestFindingJSONRelativize(t *testing.T) {
+	f := sample()
+	j := f.JSON("/repo")
+	if j.File != "internal/pmemkv/pmemkv.go" {
+		t.Errorf("relativized file = %q", j.File)
+	}
+	if out := f.JSON("/elsewhere"); out.File != "/repo/internal/pmemkv/pmemkv.go" {
+		t.Errorf("file outside dir must stay absolute, got %q", out.File)
+	}
+
+	var buf bytes.Buffer
+	if err := analysis.WriteFindingsJSON(&buf, []analysis.FindingJSON{j}); err != nil {
+		t.Fatalf("WriteFindingsJSON: %v", err)
+	}
+	// The field names are a compatibility contract with CI scripts.
+	for _, key := range []string{`"analyzer"`, `"file"`, `"line"`, `"column"`, `"message"`, `"suppressed"`} {
+		if !strings.Contains(buf.String(), key) {
+			t.Errorf("serialised finding missing %s:\n%s", key, buf.String())
+		}
+	}
+	var back []analysis.FindingJSON
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil || len(back) != 1 || back[0] != j {
+		t.Errorf("round trip = %v, %v", back, err)
+	}
+}
+
+// TestWriteFindingsJSONEmpty pins that no findings encodes as [], never
+// null — consumers index into the array unconditionally.
+func TestWriteFindingsJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := analysis.WriteFindingsJSON(&buf, nil); err != nil {
+		t.Fatalf("WriteFindingsJSON: %v", err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("empty findings = %q, want []", got)
+	}
+}
+
+// TestBaseline pins the diff contract: line and column drift does not make a
+// finding new; a changed message or file does.
+func TestBaseline(t *testing.T) {
+	f := sample().JSON("/repo")
+	var buf bytes.Buffer
+	if err := analysis.WriteFindingsJSON(&buf, []analysis.FindingJSON{f}); err != nil {
+		t.Fatalf("WriteFindingsJSON: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatalf("writing baseline: %v", err)
+	}
+	base, err := analysis.LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+
+	moved := f
+	moved.Line, moved.Column = 999, 7
+	if !base.Has(moved) {
+		t.Errorf("baseline must match a finding that only moved lines")
+	}
+	changed := f
+	changed.Message = "different defect"
+	if base.Has(changed) {
+		t.Errorf("baseline must not match a different message")
+	}
+	otherFile := f
+	otherFile.File = "internal/pmemkv/oracle.go"
+	if base.Has(otherFile) {
+		t.Errorf("baseline must not match a different file")
+	}
+
+	if _, err := analysis.LoadBaseline(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Errorf("LoadBaseline on a missing file must error")
+	}
+}

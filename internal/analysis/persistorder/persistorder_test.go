@@ -1,0 +1,82 @@
+package persistorder_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"easycrash/internal/analysis"
+	"easycrash/internal/analysis/analysistest"
+	"easycrash/internal/analysis/persistorder"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "kvstore"),
+		"easycrash/internal/pmemkv/fixture", persistorder.Analyzer)
+}
+
+func TestAdoption(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "noholds"),
+		"easycrash/internal/apps/noholds", persistorder.Analyzer)
+}
+
+// TestRealPmemkv pins the analyzer's first confirmed catch on the real tree:
+// pmemkv-bug's missing record flush, reported at the exact store site the
+// dynamic oracle blames, suppressed by exactly one audited allow whose
+// reason documents the deliberate bug. If the finding drifts off that line,
+// multiplies, or loses its justification, the static↔dynamic cross-check is
+// broken.
+func TestRealPmemkv(t *testing.T) {
+	dir := filepath.Join("..", "..", "pmemkv")
+	pkg, err := analysis.LoadDir(dir, "easycrash/internal/pmemkv")
+	if err != nil {
+		t.Fatalf("loading pmemkv: %v", err)
+	}
+	findings, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{persistorder.Analyzer})
+	if err != nil {
+		t.Fatalf("RunAnalyzers: %v", err)
+	}
+
+	src, err := os.ReadFile(filepath.Join(dir, "pmemkv.go"))
+	if err != nil {
+		t.Fatalf("reading pmemkv.go: %v", err)
+	}
+	bugLine := 0
+	for i, l := range strings.Split(string(src), "\n") {
+		if strings.Contains(l, "m.StoreI64(base, seq+1)") {
+			bugLine = i + 1
+			break
+		}
+	}
+	if bugLine == 0 {
+		t.Fatal("pmemkv.go no longer contains the WAL record store the pin is anchored to")
+	}
+
+	var po []analysis.Finding
+	for _, f := range findings {
+		if f.Analyzer == persistorder.Analyzer.Name {
+			po = append(po, f)
+		} else {
+			t.Errorf("unexpected %s finding on pmemkv: %s", f.Analyzer, f)
+		}
+	}
+	if len(po) != 1 {
+		t.Fatalf("want exactly 1 persistorder finding on pmemkv, got %d:\n%s",
+			len(po), analysistest.String(po))
+	}
+	f := po[0]
+	if got := filepath.Base(f.Pos.Filename); got != "pmemkv.go" || f.Pos.Line != bugLine {
+		t.Errorf("finding at %s:%d, want pmemkv.go:%d (the WAL record store)",
+			got, f.Pos.Line, bugLine)
+	}
+	if !strings.Contains(f.Message, "commit mark") {
+		t.Errorf("finding message does not name the commit mark: %s", f.Message)
+	}
+	if !f.Suppressed {
+		t.Errorf("the deliberate bug must be suppressed by its audited allow: %s", f)
+	}
+	if !strings.Contains(f.AllowReason, "pmemkv-bug") {
+		t.Errorf("allow reason must document the deliberate bug, got %q", f.AllowReason)
+	}
+}

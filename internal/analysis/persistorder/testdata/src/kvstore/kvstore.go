@@ -1,0 +1,164 @@
+// Package kvstore is the persistorder fixture: a miniature WAL-plus-commit-
+// mark store with every flavour of the flush-before-commit/ack discipline —
+// the correct sequence, the pmemkv-bug shape (commit covers an unflushed
+// record), unfenced flushes where ordering is owed, provably short flush
+// ranges, path-sensitive variants, and the directive error cases.
+package kvstore
+
+import (
+	"easycrash/internal/cachesim"
+	"easycrash/internal/mem"
+	"easycrash/internal/sim"
+)
+
+const recBytes = 32
+
+type store struct {
+	wal  mem.Object //persist:data
+	head mem.Object //persist:commit
+	mt   mem.Object // untracked on purpose: memtable is rebuilt on recovery
+
+	acked int64
+}
+
+// goodPut is the correct discipline: record stores, fenced flush of the
+// record, commit-mark store, fenced flush of the mark, acknowledge.
+func (s *store) goodPut(m *sim.Machine, seq int64) {
+	base := s.wal.Addr + uint64(seq)*recBytes
+	m.StoreI64(base, seq+1)
+	m.StoreI64(base+8, seq)
+	m.FlushRange(base, recBytes, cachesim.CLWB)
+	m.StoreI64(s.head.Addr, seq+1)
+	m.FlushRange(s.head.Addr, s.head.Size, cachesim.CLWB)
+	s.acked = seq + 1 //persist:ack
+}
+
+// badPut is the pmemkv-bug shape: the commit mark covers a record that was
+// never flushed. The finding lands on the store, the exact site whose
+// missing flush is the bug.
+func (s *store) badPut(m *sim.Machine, seq int64) {
+	base := s.wal.Addr + uint64(seq)*recBytes
+	m.StoreI64(base, seq+1) // want `not covered by a fenced flush before the commit mark`
+	m.StoreI64(base+8, seq)
+	m.StoreI64(s.head.Addr, seq+1)
+	m.FlushRange(s.head.Addr, s.head.Size, cachesim.CLWB)
+}
+
+// ackOnly owes durability at the acknowledgement even with no commit mark in
+// sight.
+func (s *store) ackOnly(m *sim.Machine, seq int64) {
+	m.StoreI64(s.wal.Addr+uint64(seq)*recBytes, seq+1) // want `before the write is acknowledged`
+	s.acked = seq + 1                                  //persist:ack
+}
+
+// unfencedPut flushes the record but never fences it: the CLWB is issued,
+// nothing orders it before the commit-mark store.
+func (s *store) unfencedPut(m *sim.Machine, seq int64) {
+	base := s.wal.Addr + uint64(seq)*recBytes
+	m.StoreI64(base, seq+1)
+	m.FlushObject(s.wal, cachesim.CLWB) // want `use FlushRange`
+	m.StoreI64(s.head.Addr, seq+1)
+}
+
+// unfencedHier reaches for the raw hierarchy flush, which carries no fence
+// either.
+func (s *store) unfencedHier(m *sim.Machine, seq int64) {
+	base := s.wal.Addr + uint64(seq)*recBytes
+	m.StoreI64(base, seq+1)
+	m.Hierarchy().Flush(base, recBytes, cachesim.CLWB) // want `use FlushRange`
+	m.StoreI64(s.head.Addr, seq+1)
+}
+
+// flushMany covers the record only as one element of an unfenced batch.
+func (s *store) flushMany(m *sim.Machine, seq int64) {
+	m.StoreI64(s.wal.Addr+uint64(seq)*recBytes, seq+1)
+	m.FlushObjects([]mem.Object{s.wal, s.head}, cachesim.CLWB) // want `use FlushRange`
+	m.StoreI64(s.head.Addr, seq+1)
+}
+
+// shortFlush fences a provably short range: the last 8 bytes of the record
+// stay volatile across the fence.
+func (s *store) shortFlush(m *sim.Machine, seq int64) {
+	base := s.wal.Addr + uint64(seq)*recBytes
+	m.StoreI64(base, seq+1)
+	m.StoreI64(base+8, seq)
+	m.StoreI64(base+16, seq)
+	m.StoreI64(base+24, seq)
+	m.FlushRange(base, recBytes-8, cachesim.CLWB) // want `uncovered bytes stay volatile`
+	m.StoreI64(s.head.Addr, seq+1)
+}
+
+// branchPut only flushes on one path; the merge keeps the weaker state, so
+// the store is unproven on the path where sync is false.
+func (s *store) branchPut(m *sim.Machine, seq int64, sync bool) {
+	base := s.wal.Addr + uint64(seq)*recBytes
+	m.StoreI64(base, seq+1) // want `not covered by a fenced flush before the commit mark`
+	if sync {
+		m.FlushRange(base, recBytes, cachesim.CLWB)
+	}
+	m.StoreI64(s.head.Addr, seq+1)
+}
+
+// fencedDrain is clean: the unfenced CLWB is drained by a later FlushRange
+// fence that still precedes the commit-mark store.
+func (s *store) fencedDrain(m *sim.Machine, seq int64) {
+	base := s.wal.Addr + uint64(seq)*recBytes
+	m.StoreI64(base, seq+1)
+	m.FlushObject(s.wal, cachesim.CLWB)
+	m.FlushRange(s.head.Addr, s.head.Size, cachesim.CLWB)
+	m.StoreI64(s.head.Addr, seq+1)
+	m.FlushRange(s.head.Addr, s.head.Size, cachesim.CLWB)
+	s.acked = seq + 1 //persist:ack
+}
+
+// loopClean flushes each record inside the loop; nothing dirty survives to
+// the commit after it.
+func (s *store) loopClean(m *sim.Machine, n int64) {
+	for seq := int64(0); seq < n; seq++ {
+		base := s.wal.Addr + uint64(seq)*recBytes
+		m.StoreI64(base, seq+1)
+		m.FlushRange(base, recBytes, cachesim.CLWB)
+	}
+	m.StoreI64(s.head.Addr, n)
+	m.FlushRange(s.head.Addr, s.head.Size, cachesim.CLWB)
+	s.acked = n //persist:ack
+}
+
+// sliceClean stores through a typed view (extent unknowable) and is covered
+// by a whole-object fenced flush.
+func (s *store) sliceClean(m *sim.Machine, k int, v int64) {
+	m.I64(s.wal).Set(k, v)
+	m.FlushRange(s.wal.Addr, s.wal.Size, cachesim.CLWB)
+	m.StoreI64(s.head.Addr, v)
+	m.FlushRange(s.head.Addr, s.head.Size, cachesim.CLWB)
+	s.acked = v //persist:ack
+}
+
+// untrackedStores touch only undeclared objects; the analyzer owes them
+// nothing.
+func (s *store) untrackedStores(m *sim.Machine, k int, v int64) {
+	m.I64(s.mt).Set(k, v)
+	m.StoreI64(s.mt.Addr+uint64(k)*8, v)
+	s.acked = v //persist:ack
+}
+
+// panicClean crashes before the commit on the unflushed path; a dead path
+// carries no obligation.
+func (s *store) panicClean(m *sim.Machine, seq int64) {
+	base := s.wal.Addr + uint64(seq)*recBytes
+	m.StoreI64(base, seq+1)
+	if seq > 9 {
+		panic("corrupt record")
+	}
+	m.FlushRange(base, recBytes, cachesim.CLWB)
+	m.StoreI64(s.head.Addr, seq+1)
+}
+
+// Directive error cases: a data directive on a non-Object declaration, and a
+// verb the analyzer does not know.
+
+var loose int //persist:data // want `attaches to no mem.Object`
+
+//persist:flush // want `unknown persist: directive`
+
+var _ = loose

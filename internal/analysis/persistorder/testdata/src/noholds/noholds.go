@@ -1,0 +1,37 @@
+// Package noholds is the persistorder adoption fixture: a type that
+// implements apps.ConsistencyKernel — it promises client-visible persistence
+// semantics — in a package with no persist directives. The analyzer cannot
+// prove a contract it cannot see, and says so once, at the type.
+package noholds
+
+import (
+	"easycrash/internal/apps"
+	"easycrash/internal/mem"
+	"easycrash/internal/sim"
+)
+
+type journal struct{}
+
+func (journal) Merge(other apps.AckJournal) apps.AckJournal { return journal{} }
+
+// Kern implements apps.ConsistencyKernel without declaring its durable
+// objects.
+type Kern struct { // want `implements apps.ConsistencyKernel but the package declares no persist`
+	obj mem.Object
+}
+
+func (k *Kern) Name() string                    { return "noholds" }
+func (k *Kern) Description() string             { return "adoption fixture" }
+func (k *Kern) RegionCount() int                { return 1 }
+func (k *Kern) NominalIters() int64             { return 1 }
+func (k *Kern) Convergent() bool                { return false }
+func (k *Kern) Setup(m *sim.Machine)            {}
+func (k *Kern) Init(m *sim.Machine)             {}
+func (k *Kern) Result(m *sim.Machine) []float64 { return nil }
+func (k *Kern) IterObject() mem.Object          { return k.obj }
+
+func (k *Kern) Run(m *sim.Machine, from, maxIter int64) (int64, error) { return from, nil }
+func (k *Kern) Verify(m *sim.Machine, golden []float64) bool           { return true }
+
+func (k *Kern) Journal() apps.AckJournal                           { return journal{} }
+func (k *Kern) Audit(m *sim.Machine, j apps.AckJournal) apps.Audit { return apps.Audit{} }

@@ -8,6 +8,7 @@ import (
 	"easycrash/internal/analysis/addrstride"
 	"easycrash/internal/analysis/campaigndet"
 	"easycrash/internal/analysis/directmem"
+	"easycrash/internal/analysis/persistorder"
 	"easycrash/internal/analysis/regionpairs"
 )
 
@@ -17,6 +18,7 @@ func All() []*analysis.Analyzer {
 		addrstride.Analyzer,
 		campaigndet.Analyzer,
 		directmem.Analyzer,
+		persistorder.Analyzer,
 		regionpairs.Analyzer,
 	}
 }

@@ -1,0 +1,55 @@
+// Package allowfix is the framework fixture for //eclint:allow attachment,
+// the stale-allow audit and justification enforcement. The fake analyzers in
+// analysis_test.go report on every call to mark (analyzer "fake") and smark
+// (analyzer "strict", which requires a justification); the assertions locate
+// these lines by the MARK comments, so edits can move code freely.
+package allowfix
+
+func mark() int  { return 0 }
+func smark() int { return 0 }
+
+func sum(vs ...int) int {
+	t := 0
+	for _, v := range vs {
+		t += v
+	}
+	return t
+}
+
+// suppressed exercises the trailing and line-above annotation forms.
+func suppressed() {
+	_ = mark() //eclint:allow fake — trailing annotation
+	//eclint:allow fake — annotation on the line above
+	_ = mark() // MARK:above
+}
+
+// multiLine exercises the statement-attachment rule: the annotation sits
+// above the statement, the finding is reported on a continuation line.
+func multiLine() {
+	//eclint:allow fake — annotation above the multi-line statement
+	_ = sum(
+		mark(), // MARK:multiline
+	)
+}
+
+// unsuppressed keeps one raw finding so the test proves reporting works.
+func unsuppressed() {
+	_ = mark() // MARK:unsuppressed
+}
+
+// stale carries an annotation that suppresses nothing (the audit's business)
+// and one addressed to an analyzer outside the run (ignored).
+func stale() {
+	//eclint:allow fake — stale: the next line triggers nothing MARK:stale
+	_ = sum()
+	//eclint:allow notinrun — addressed to an analyzer that is not running
+	_ = sum()
+}
+
+// strictAllows: a bare allow for a justification-requiring analyzer neither
+// suppresses nor passes silently; the reasoned one suppresses.
+func strictAllows() {
+	//eclint:allow strict
+	_ = smark() // MARK:strictraw
+	_ = smark() //eclint:allow strict — justified deliberate violation
+}

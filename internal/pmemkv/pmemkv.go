@@ -66,9 +66,9 @@ type Store struct {
 	byKey  [][]int32 // ascending put sequence numbers per key
 	getPut []int32   // per get: the put whose key the client reads back
 
-	wal  mem.Object
-	head mem.Object
-	mt   mem.Object
+	wal  mem.Object //persist:data
+	head mem.Object //persist:commit
+	mt   mem.Object // memtable: rebuilt from the WAL on recovery, untracked
 	it   mem.Object
 
 	// acked is the volatile ack journal: puts [0, acked) have been
@@ -222,6 +222,7 @@ func (s *Store) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
 func (s *Store) put(m *sim.Machine, seq int64) {
 	op := s.puts[seq]
 	base := s.wal.Addr + uint64(seq)*recBytes
+	//eclint:allow persistorder — pmemkv-bug: the record flush below is deliberately skipped on the buggy path so the dynamic oracle has a real ordering bug to catch; eclint's static verdict and the campaign oracle's dynamic verdict on this line are cross-checked in CI
 	m.StoreI64(base, seq+1)
 	m.StoreI64(base+8, int64(op.key))
 	m.StoreI64(base+16, op.val)
@@ -240,7 +241,7 @@ func (s *Store) put(m *sim.Machine, seq int64) {
 	// (the client's view); no simulated access separates it from the flush,
 	// so the only op a crash can catch between flush and ack is this one —
 	// the single in-flight op the oracle's audit allows for.
-	s.acked = seq + 1
+	s.acked = seq + 1 //persist:ack
 	m.StoreI64(s.mt.Addr+uint64(op.key)*8, op.val)
 }
 
