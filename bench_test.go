@@ -24,6 +24,7 @@ import (
 	"easycrash/internal/cachesim"
 	"easycrash/internal/ckpt"
 	"easycrash/internal/core"
+	"easycrash/internal/faultmodel"
 	"easycrash/internal/mem"
 	"easycrash/internal/nvct"
 	"easycrash/internal/nvmperf"
@@ -812,6 +813,38 @@ func BenchmarkCampaignPrefixShared(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				t.RunCampaign(nil, lopts)
+			}
+		})
+	}
+}
+
+// BenchmarkCampaignTreeShared measures the snapshot-tree engine on the
+// campaigns the original prefix fast path had to refuse: 200-trial campaigns
+// with the full media-fault model on (tears + RBER + SECDED + scrub) under an
+// iteration persistence policy, tree-shared versus fully live. Branches
+// replay each trial's seed-drawn injections on a fork of the shared
+// reference, and recovery runs are shared between trials restarting from
+// byte-identical durable state, so the campaign cost approaches one reference
+// execution plus the distinct recoveries. See DESIGN.md.
+func BenchmarkCampaignTreeShared(b *testing.B) {
+	faults := faultmodel.Config{RBER: 2e-6, TornWrites: true, ECC: faultmodel.SECDED()}
+	for _, kernel := range []string{"lulesh", "lu"} {
+		t := lab.tester(b, kernel)
+		res := lab.workflow(b, kernel)
+		policy := nvct.IterationPolicy(res.Critical)
+		opts := nvct.CampaignOpts{Tests: 200, Seed: 1, Faults: faults, ScrubOnRestart: true}
+		b.Run(kernel+"/tree", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				t.RunCampaign(policy, opts)
+			}
+		})
+		b.Run(kernel+"/live", func(b *testing.B) {
+			lopts := opts
+			lopts.NoPrefixShare = true
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				t.RunCampaign(policy, lopts)
 			}
 		})
 	}

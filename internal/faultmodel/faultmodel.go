@@ -166,6 +166,63 @@ func (in *Injector) ArmTear() {
 	in.tearArmed = true
 }
 
+// InFlight identifies the media write that was in flight when a crash fired:
+// the block base and its pre-write content, the torn-write target ApplyCrash
+// reverts word by word. It is a plain value — recorded once on a reference
+// execution, it can arm any trial's injector via ReplayCrash.
+type InFlight struct {
+	Base uint64
+	Old  [mem.BlockSize]byte
+}
+
+// Recorder observes media writes without injecting anything: it keeps the
+// same in-flight-write window an Injector keeps (most recent write and its
+// pre-write content), but owns no RNG and never mutates the image. The
+// prefix-sharing campaign engine attaches one to the shared reference
+// execution; at each fork point the recorded InFlight is replayed into every
+// trial's own injector via ReplayCrash, so trial injectors observe nothing
+// during the shared prefix and stay byte-identical to their live-engine
+// counterparts (which observed every write themselves but only consume RNG at
+// ApplyCrash).
+type Recorder struct {
+	writeSeq uint64
+	last     InFlight
+}
+
+// ObserveWrite is the mem.WriteHook the reference machine installs. Unlike
+// Injector.ObserveWrite it always records the pre-write content: the recorder
+// serves trials with any fault configuration, and storing 64 bytes per media
+// write costs less than branching on one.
+func (r *Recorder) ObserveWrite(base uint64, old, new []byte) {
+	r.writeSeq++
+	r.last.Base = base
+	copy(r.last.Old[:], old)
+}
+
+// WriteSeq returns the number of media writes observed so far; the machine
+// compares it across crash-clock ticks exactly as it does an injector's.
+func (r *Recorder) WriteSeq() uint64 { return r.writeSeq }
+
+// Last returns the most recently observed media write.
+func (r *Recorder) Last() InFlight { return r.last }
+
+// ReplayCrash applies the injector's crash-time faults to an image using a
+// recorded in-flight write instead of the injector's own observation window:
+// the tear target is armed from inflight (nil = no write was in flight) and
+// the faults are drawn from the injector's seeded source exactly as
+// ApplyCrash draws them. An injector that observed the same execution live
+// arms the same target — the live window (lastBase/lastOld) tracks the most
+// recent media write, which is what the recorder hands over — and consumes
+// RNG only here, so replayed and live injections are byte-identical.
+func (in *Injector) ReplayCrash(img *mem.Image, extent uint64, inflight *InFlight) Injection {
+	if inflight != nil && in.cfg.TornWrites {
+		in.tearBase = inflight.Base
+		in.tearOld = inflight.Old
+		in.tearArmed = true
+	}
+	return in.ApplyCrash(img, extent)
+}
+
 // ApplyCrash mutates the image the way the media fails at power loss: tears
 // the armed in-flight block, then applies RBER bit flips filtered through
 // the per-block ECC model. extent bounds the bit-flip region to the

@@ -226,3 +226,75 @@ func TestPoissonMatchesMean(t *testing.T) {
 		t.Error("non-positive lambda should draw 0")
 	}
 }
+
+func TestRecorderWindow(t *testing.T) {
+	rec := &Recorder{}
+	if rec.WriteSeq() != 0 {
+		t.Fatalf("fresh recorder WriteSeq = %d", rec.WriteSeq())
+	}
+	old := make([]byte, mem.BlockSize)
+	old[3] = 0xAB
+	rec.ObserveWrite(2*mem.BlockSize, old, nil)
+	old[3] = 0xCD // the recorder must have copied, not aliased
+	rec.ObserveWrite(5*mem.BlockSize, old, nil)
+	if rec.WriteSeq() != 2 {
+		t.Fatalf("WriteSeq = %d after two writes", rec.WriteSeq())
+	}
+	last := rec.Last()
+	if last.Base != 5*mem.BlockSize || last.Old[3] != 0xCD {
+		t.Fatalf("Last() = base %#x old[3]=%#x", last.Base, last.Old[3])
+	}
+}
+
+// TestReplayCrashTearGate: ReplayCrash arms a tear only when the trial's
+// config tears writes AND a write was actually in flight — the same two
+// conditions the live machine's crash-time arming checks.
+func TestReplayCrashTearGate(t *testing.T) {
+	const size = 4 * mem.BlockSize
+	pristine := mem.NewImage(size)
+	fillImage(pristine)
+	want := pristine.Bytes(0, size)
+
+	inflight := &InFlight{Base: mem.BlockSize}
+	// Pre-write content differs from the image in every word, so an armed
+	// tear reverts (on average) half the words — seed 3 tears at least one.
+	for i := range inflight.Old {
+		inflight.Old[i] = 0xFF
+	}
+
+	// Torn writes disabled: the in-flight record must be ignored.
+	img := mem.NewImage(size)
+	fillImage(img)
+	if rep := New(Config{RBER: 0}, 3).ReplayCrash(img, size, inflight); rep.Any() {
+		t.Fatalf("inert config injected %+v", rep)
+	}
+	if !bytes.Equal(img.Bytes(0, size), want) {
+		t.Fatal("inert replay mutated the image")
+	}
+
+	// Torn writes enabled but no write in flight: nothing to tear.
+	img = mem.NewImage(size)
+	fillImage(img)
+	if rep := New(Config{TornWrites: true}, 3).ReplayCrash(img, size, nil); rep.Any() {
+		t.Fatalf("no write in flight, yet injected %+v", rep)
+	}
+	if !bytes.Equal(img.Bytes(0, size), want) {
+		t.Fatal("tear without an in-flight write mutated the image")
+	}
+
+	// Both conditions hold: the in-flight block tears, nothing else changes.
+	img = mem.NewImage(size)
+	fillImage(img)
+	rep := New(Config{TornWrites: true}, 3).ReplayCrash(img, size, inflight)
+	if rep.TornWords == 0 {
+		t.Fatalf("armed tear reverted no words: %+v", rep)
+	}
+	got := img.Bytes(0, size)
+	if bytes.Equal(got[mem.BlockSize:2*mem.BlockSize], want[mem.BlockSize:2*mem.BlockSize]) {
+		t.Fatal("in-flight block unchanged despite torn words")
+	}
+	if !bytes.Equal(got[:mem.BlockSize], want[:mem.BlockSize]) ||
+		!bytes.Equal(got[2*mem.BlockSize:], want[2*mem.BlockSize:]) {
+		t.Fatal("tear leaked outside the in-flight block")
+	}
+}

@@ -17,6 +17,8 @@ import (
 	"context"
 	"math/rand"
 	"time"
+
+	"easycrash/internal/apps"
 )
 
 // runTrial executes one supervised nested-failure trial: a crash chain of
@@ -36,11 +38,97 @@ func (t *Tester) runTrial(ctx context.Context, policy *Policy, crashAt uint64, f
 	return t.runChain(ctx, ps, trialSeed, space, opts, deadline, deadlineErr)
 }
 
+// chainCursor carries the inter-attempt bookkeeping of one nested-failure
+// crash chain: the durable state the next attempt restarts from and the
+// progress accounting that classifies the terminal attempt. Both the live
+// engine (runChain) and the snapshot-tree engine drive their chains through
+// the same cursor, so the two cannot drift.
+type chainCursor struct {
+	dump    []byte
+	poison  map[uint64]struct{}
+	journal apps.AckJournal // merged ack journal across the chain's lives
+
+	firstIter int64 // progress when the first power loss hit
+	prevIter  int64 // progress when the latest power loss hit
+	work      int64 // iterations executed across recovery attempts
+}
+
+// nextArm begins one recovery attempt of a chain: it spends one unit of the
+// retry budget and draws the attempt's re-crash point from the trial's
+// generator while depth remains (the final allowed attempt runs unarmed,
+// exactly like a classic restart). exhausted reports that the budget was
+// already spent and no attempt may run.
+func nextArm(res *TestResult, trng *rand.Rand, budget, recrashDepth int, space uint64) (arm uint64, exhausted bool) {
+	if res.Retries >= budget {
+		return 0, true
+	}
+	res.Retries++
+	if res.Depth <= recrashDepth {
+		arm = 1 + uint64(trng.Int63n(int64(space)))
+	}
+	return arm, false
+}
+
+// applyAttempt folds one recovery attempt's result into the trial record. A
+// re-crash extends the chain, advances the cursor to the new durable state
+// and returns false (another attempt is due); a terminal outcome classifies
+// the trial and returns true. The caller owns recycling the dump the cursor
+// moved off of.
+func (c *chainCursor) applyAttempt(res *TestResult, st attemptResult, goldenIters int64) (terminal bool) {
+	res.ScrubbedObjects += st.scrubbed
+	if st.crash != nil {
+		// Crashed again: record the level and restart from the new
+		// durable state the failing media left behind.
+		res.Depth++
+		res.Chain = append(res.Chain, ChainCrash{Access: st.crash.Access, Region: st.crash.Region, Iter: st.crash.Iter, Media: st.media})
+		res.FinalInconsistency = st.inc
+		c.work += st.crash.Iter - st.from
+		c.dump, c.poison = st.dump, st.poison
+		c.journal = st.journal
+		c.prevIter = st.crash.Iter
+		return false
+	}
+	res.Outcome = st.outcome
+	res.FinalResult = st.final
+	res.Violations = st.violations
+	if st.detected != "" {
+		res.Err = st.detected
+	}
+	switch st.outcome {
+	case S1, S2, S4:
+		// Extra iterations of the whole chain: recovery work executed
+		// beyond what remained when the first crash hit. Redone
+		// iterations from lost bookmarks and convergence surplus both
+		// land here; for a depth-1 chain it reduces to the classic
+		// formula.
+		extra := c.work + st.executed - (goldenIters - c.firstIter)
+		if extra < 0 {
+			extra = 0
+		}
+		res.ExtraIters = extra
+		if st.outcome != S4 {
+			res.Outcome = S1
+			if extra > 0 {
+				res.Outcome = S2
+			}
+		}
+	}
+	return true
+}
+
+// chainBudget resolves the per-trial retry budget of a nested campaign.
+func chainBudget(opts CampaignOpts) int {
+	if opts.RetryBudget > 0 {
+		return opts.RetryBudget
+	}
+	return opts.RecrashDepth + 1
+}
+
 // runChain supervises the recovery chain of one nested-failure trial from its
 // phase-1 state onward. It consumes ps.dump (and any re-crash dumps it takes
 // along the way). Both the live engine and the prefix-sharing fast path enter
-// here — recovery chains always execute live, only the initial pre-crash
-// prefix is ever shared.
+// here when a trial must run in isolation; the snapshot-tree engine drives
+// the same cursor/attempt helpers round-by-round across many trials at once.
 func (t *Tester) runChain(ctx context.Context, ps phase1State, trialSeed int64, space uint64, opts CampaignOpts, deadline time.Time, deadlineErr error) TestResult {
 	res := TestResult{
 		CrashAccess:        ps.crash.Access,
@@ -54,74 +142,32 @@ func (t *Tester) runChain(ctx context.Context, ps phase1State, trialSeed int64, 
 	}
 
 	trng := rand.New(rand.NewSource(trialSeed))
-	budget := opts.RetryBudget
-	if budget <= 0 {
-		budget = opts.RecrashDepth + 1
+	budget := chainBudget(opts)
+	c := &chainCursor{
+		dump:      ps.dump,
+		poison:    ps.poison,
+		journal:   ps.journal,
+		firstIter: ps.crash.Iter,
+		prevIter:  ps.crash.Iter,
 	}
-	dump, poison := ps.dump, ps.poison
-	journal := ps.journal      // merged ack journal across the chain's lives
-	firstIter := ps.crash.Iter // progress when the first power loss hit
-	prevIter := ps.crash.Iter  // progress when the latest power loss hit
-	var work int64             // iterations executed across recovery attempts
 
 	for {
-		if res.Retries >= budget {
+		arm, exhausted := nextArm(&res, trng, budget, opts.RecrashDepth, space)
+		if exhausted {
 			// The chain still needs another restart but the budget is
 			// spent: the application never reached a terminal state.
 			res.Outcome = S3
 			res.Err = ErrRetryBudgetExhausted.Error()
 			break
 		}
-		res.Retries++
-		// Arm the next level of the chain while depth remains; the final
-		// allowed attempt runs unarmed, exactly like a classic restart.
-		var arm uint64
-		if res.Depth <= opts.RecrashDepth {
-			arm = 1 + uint64(trng.Int63n(int64(space)))
+		st := t.restartOnce(ctx, c.dump, c.poison, c.prevIter, c.journal, opts.ScrubOnRestart, deadline, deadlineErr, arm, ps.inj, opts.Verified)
+		old := c.dump
+		if c.applyAttempt(&res, st, t.golden.Iters) {
+			break
 		}
-		st := t.restartOnce(ctx, dump, poison, prevIter, journal, opts.ScrubOnRestart, deadline, deadlineErr, arm, ps.inj, opts.Verified)
-		res.ScrubbedObjects += st.scrubbed
-		if st.crash != nil {
-			// Crashed again: record the level and restart from the new
-			// durable state the failing media left behind.
-			res.Depth++
-			res.Chain = append(res.Chain, ChainCrash{Access: st.crash.Access, Region: st.crash.Region, Iter: st.crash.Iter, Media: st.media})
-			res.FinalInconsistency = st.inc
-			work += st.crash.Iter - st.from
-			t.putDump(dump)
-			dump, poison = st.dump, st.poison
-			journal = st.journal
-			prevIter = st.crash.Iter
-			continue
-		}
-		res.Outcome = st.outcome
-		res.FinalResult = st.final
-		res.Violations = st.violations
-		if st.detected != "" {
-			res.Err = st.detected
-		}
-		switch st.outcome {
-		case S1, S2, S4:
-			// Extra iterations of the whole chain: recovery work executed
-			// beyond what remained when the first crash hit. Redone
-			// iterations from lost bookmarks and convergence surplus both
-			// land here; for a depth-1 chain it reduces to the classic
-			// formula.
-			extra := work + st.executed - (t.golden.Iters - firstIter)
-			if extra < 0 {
-				extra = 0
-			}
-			res.ExtraIters = extra
-			if st.outcome != S4 {
-				res.Outcome = S1
-				if extra > 0 {
-					res.Outcome = S2
-				}
-			}
-		}
-		break
+		t.putDump(old)
 	}
-	t.putDump(dump)
+	t.putDump(c.dump)
 	return res
 }
 

@@ -702,11 +702,17 @@ func (t *Tester) RunCampaignContext(ctx context.Context, policy *Policy, opts Ca
 			done[i] = true
 		}
 	}
+	// runLive runs every not-yet-done trial on the live engine. Skipping
+	// done[i] makes it double as the fallback after a failed shared run:
+	// trials the tree engine already finished stay finished.
 	runLive := func() {
 		if workers == 1 {
 			for i := range points {
 				if ctx.Err() != nil {
 					break
+				}
+				if done[i] {
+					continue
 				}
 				runIdx(i)
 			}
@@ -725,6 +731,9 @@ func (t *Tester) RunCampaignContext(ctx context.Context, policy *Policy, opts Ca
 		}
 	feed:
 		for i := range points {
+			if done[i] {
+				continue
+			}
 			select {
 			case next <- i:
 			case <-ctx.Done():
@@ -735,21 +744,22 @@ func (t *Tester) RunCampaignContext(ctx context.Context, policy *Policy, opts Ca
 		wg.Wait()
 	}
 
-	// Prefix sharing simulates the shared pre-crash prefix once and forks at
-	// each crash point, instead of re-executing it per test. It engages only
-	// when the prefix really is shared and uninterruptible: media faults
-	// perturb the durable image per-trial during normal execution, and the
-	// per-test/per-trial watchdogs bound each test's own execution, which a
-	// shared reference run has no analogue for. Nested recovery chains still
-	// run live from the forked post-crash state.
-	if !opts.NoPrefixShare && !opts.Faults.Enabled() &&
-		opts.TestTimeout == 0 && opts.TrialDeadline == 0 {
-		if !t.runPrefixShared(ctx, policy, points, trialSeedAt, space, opts, workers, rep, done) {
+	// Snapshot-tree sharing simulates the shared pre-crash prefix once and
+	// forks at each crash point instead of re-executing it per test; trials
+	// whose recoveries restart from identical durable state then share forked
+	// recovery runs round by round. Media-fault campaigns share too: the
+	// reference run records writes without injecting, and each branch replays
+	// its trial's seed-drawn injections on the fork. The engine stands down
+	// only when the per-test/per-trial watchdogs are set — they bound each
+	// test's own execution, which a shared reference run has no analogue for.
+	if !opts.NoPrefixShare && opts.TestTimeout == 0 && opts.TrialDeadline == 0 {
+		if !t.runTreeShared(ctx, policy, points, seedAt, trialSeedAt, space, opts, workers, rep, done) {
 			// The reference run failed outside the simulated-crash protocol
-			// (a panicking kernel, an engine bug): discard any partial fast-
-			// path results and re-run the whole campaign on the live engine,
-			// which isolates such failures per test.
-			clear(done)
+			// (a panicking kernel, an engine bug). Trials that already
+			// branched off the shared prefix are complete and correct — their
+			// forks precede the failure — so only the undone remainder
+			// re-runs on the live engine, which isolates such failures per
+			// test.
 			runLive()
 		}
 	} else {
@@ -1082,6 +1092,14 @@ func (t *Tester) finishOne(ctx context.Context, ps phase1State, opts CampaignOpt
 	// Phase 2: restart from the dump.
 	st := t.restartOnce(ctx, ps.dump, ps.poison, ps.crash.Iter, ps.journal, opts.ScrubOnRestart, deadline, deadlineErr, 0, nil, false)
 	t.putDump(ps.dump)
+	applyClassicAttempt(&res, st)
+	return res
+}
+
+// applyClassicAttempt folds the single recovery attempt of a classic
+// (depth-0) trial into its record. Shared by finishOne and the snapshot-tree
+// engine so the classic classification cannot drift between paths.
+func applyClassicAttempt(res *TestResult, st attemptResult) {
 	res.Outcome = st.outcome
 	res.ExtraIters = st.extra
 	res.FinalResult = st.final
@@ -1090,7 +1108,6 @@ func (t *Tester) finishOne(ctx context.Context, ps phase1State, opts CampaignOpt
 	if st.detected != "" {
 		res.Err = st.detected
 	}
-	return res
 }
 
 // runToCrash runs the kernel main loop, returning the crash that fired, or
@@ -1166,6 +1183,78 @@ func (t *Tester) restartOnce(ctx context.Context, dump []byte, poison map[uint64
 	k := t.factory()
 	m := t.getMachine()
 	defer t.putMachine(m)
+	rs, early := t.restartSetup(ctx, k, m, dump, poison, journal, scrub, deadline, deadlineErr)
+	if early != nil {
+		return *early
+	}
+	if arm > 0 {
+		// Re-arm after the restore/scrub phase: the crash clock counts
+		// demand accesses of the recomputation only, and restore-phase
+		// write-backs are settled, not in flight.
+		if inj != nil {
+			m.AttachFaults(inj)
+		}
+		m.RearmCrash(arm)
+	}
+
+	budget := int64(float64(t.golden.Iters) * t.cfg.MaxIterFactor)
+	executed, crash, err, interrupted := t.runRecovery(k, m, rs.from, budget, arm > 0)
+	if crash != nil {
+		// The recovery itself lost power: take the same postmortem phase 1
+		// takes, and hand the next attempt the new durable state.
+		res := attemptResult{scrubbed: rs.scrubbed, from: rs.from, crash: crash}
+		if ck, ok := k.(apps.ConsistencyKernel); ok && rs.journal != nil {
+			// This life acknowledged more operations before dying; the next
+			// attempt's audit must honour the union of every life's acks.
+			res.journal = rs.journal.Merge(ck.Journal())
+		}
+		res.inc = make(map[string]float64, len(t.golden.Candidates))
+		for _, o := range t.golden.Candidates {
+			res.inc[o.Name] = m.InconsistencyRate(o)
+		}
+		if verified {
+			m.Hierarchy().WriteBackAll()
+		}
+		if inj != nil {
+			res.media = m.CrashWithFaults()
+			res.poison = poisonSet(res.media, m)
+		} else {
+			m.CrashNow()
+		}
+		res.dump = t.takeDump(m)
+		return res
+	}
+	if interrupted || err != nil {
+		return attemptResult{outcome: S3, scrubbed: rs.scrubbed, from: rs.from}
+	}
+	final := k.Result(m)
+	verifyOK := k.Verify(m, t.golden.Result)
+	return terminalAttempt(t.golden.Iters, rs, executed, final, verifyOK, crashIter)
+}
+
+// restartState is the outcome of a successful restart setup: the application
+// re-initialised, persisted objects restored from the dump, bookmark read (or
+// scrubbed) and the oracle audit passed. The recovery's main loop is ready to
+// resume at from.
+type restartState struct {
+	from         int64
+	scrubbed     int
+	bookmarkLost bool
+	// journal is the post-setup audit baseline: nil after a scrub discarded
+	// state on purpose, otherwise the journal the next life must honour.
+	journal apps.AckJournal
+}
+
+// restartSetup performs the pre-run phase of one recovery attempt on the
+// given kernel and machine: Setup, bookmark read from the dump, Init, restore
+// of unpoisoned candidates (scrub-and-fallback when enabled), PostRestart,
+// and the crash-consistency audit. A non-nil attemptResult is an early
+// terminal classification (SDue, corrupted-bookmark S3, detected-recovery-
+// failure S3, SViol) and the machine must not run. Both the live engine
+// (restartOnce) and the snapshot-tree engine (which shares one restart among
+// every trial whose durable state fingerprints identically) set up through
+// this one function, so the two cannot drift.
+func (t *Tester) restartSetup(ctx context.Context, k apps.Kernel, m *sim.Machine, dump []byte, poison map[uint64]struct{}, journal apps.AckJournal, scrub bool, deadline time.Time, deadlineErr error) (restartState, *attemptResult) {
 	k.Setup(m)
 	setInterrupt(ctx, m, deadline, deadlineErr)
 
@@ -1177,7 +1266,7 @@ func (t *Tester) restartOnce(ctx context.Context, dump []byte, poison map[uint64
 	bookmarkLost := overlapsPoison(itObj, poison)
 	if bookmarkLost {
 		if !scrub {
-			return attemptResult{outcome: SDue}
+			return restartState{}, &attemptResult{outcome: SDue}
 		}
 		scrubbed++ // fall back to iteration 0
 	} else {
@@ -1185,7 +1274,7 @@ func (t *Tester) restartOnce(ctx context.Context, dump []byte, poison map[uint64
 		if from < 0 || from > t.golden.Iters {
 			// A corrupted bookmark: the restarted process would index past
 			// its data — the segfault case.
-			return attemptResult{outcome: S3}
+			return restartState{}, &attemptResult{outcome: S3}
 		}
 	}
 
@@ -1193,7 +1282,7 @@ func (t *Tester) restartOnce(ctx context.Context, dump []byte, poison map[uint64
 	for _, o := range m.Space().Candidates() {
 		if overlapsPoison(o, poison) {
 			if !scrub {
-				return attemptResult{outcome: SDue, scrubbed: scrubbed, from: from}
+				return restartState{}, &attemptResult{outcome: SDue, scrubbed: scrubbed, from: from}
 			}
 			scrubbed++ // keep the freshly initialised values
 			continue
@@ -1216,65 +1305,35 @@ func (t *Tester) restartOnce(ctx context.Context, dump []byte, poison map[uint64
 			// The workload's own recovery found the durable state unreadable
 			// and refused to serve: a loud failure, classified as the
 			// interruption it is — never a silent violation.
-			return attemptResult{outcome: S3, scrubbed: scrubbed, from: from, detected: a.Detected.Error()}
+			return restartState{}, &attemptResult{outcome: S3, scrubbed: scrubbed, from: from, detected: a.Detected.Error()}
 		}
 		if len(a.Violations) > 0 {
-			return attemptResult{outcome: SViol, scrubbed: scrubbed, from: from, violations: a.Violations}
+			return restartState{}, &attemptResult{outcome: SViol, scrubbed: scrubbed, from: from, violations: a.Violations}
 		}
 	}
-	if arm > 0 {
-		// Re-arm after the restore/scrub phase: the crash clock counts
-		// demand accesses of the recomputation only, and restore-phase
-		// write-backs are settled, not in flight.
-		if inj != nil {
-			m.AttachFaults(inj)
-		}
-		m.RearmCrash(arm)
-	}
+	return restartState{from: from, scrubbed: scrubbed, bookmarkLost: bookmarkLost, journal: journal}, nil
+}
 
-	budget := int64(float64(t.golden.Iters) * t.cfg.MaxIterFactor)
-	executed, crash, err, interrupted := t.runRecovery(k, m, from, budget, arm > 0)
-	if crash != nil {
-		// The recovery itself lost power: take the same postmortem phase 1
-		// takes, and hand the next attempt the new durable state.
-		res := attemptResult{scrubbed: scrubbed, from: from, crash: crash}
-		if ck, ok := k.(apps.ConsistencyKernel); ok && journal != nil {
-			// This life acknowledged more operations before dying; the next
-			// attempt's audit must honour the union of every life's acks.
-			res.journal = journal.Merge(ck.Journal())
-		}
-		res.inc = make(map[string]float64, len(t.golden.Candidates))
-		for _, o := range t.golden.Candidates {
-			res.inc[o.Name] = m.InconsistencyRate(o)
-		}
-		if verified {
-			m.Hierarchy().WriteBackAll()
-		}
-		if inj != nil {
-			res.media = m.CrashWithFaults()
-			res.poison = poisonSet(res.media, m)
-		} else {
-			m.CrashNow()
-		}
-		res.dump = t.takeDump(m)
-		return res
-	}
-	if interrupted || err != nil {
-		return attemptResult{outcome: S3, scrubbed: scrubbed, from: from}
-	}
-	total := from + executed
-	extra := total - t.golden.Iters
+// terminalAttempt classifies a recovery attempt that ran to completion
+// without crashing again. final and verifyOK are the kernel's result scalars
+// and acceptance verdict on the terminal machine state (computed once by the
+// caller: on a shared recovery several trials classify from one terminal
+// state). crashIter is the progress lost with the bookmark when the scrub
+// fallback restarted from iteration 0.
+func terminalAttempt(goldenIters int64, rs restartState, executed int64, final []float64, verifyOK bool, crashIter int64) attemptResult {
+	total := rs.from + executed
+	extra := total - goldenIters
 	if extra < 0 {
 		extra = 0
 	}
-	if bookmarkLost {
+	if rs.bookmarkLost {
 		// The redone iterations up to the crash point are extra work the
 		// scrub fallback paid for losing the bookmark.
 		extra += crashIter
 	}
-	res := attemptResult{extra: extra, final: k.Result(m), executed: executed, scrubbed: scrubbed, from: from}
+	res := attemptResult{extra: extra, final: final, executed: executed, scrubbed: rs.scrubbed, from: rs.from}
 	switch {
-	case !k.Verify(m, t.golden.Result):
+	case !verifyOK:
 		res.outcome = S4
 	case extra > 0:
 		res.outcome = S2

@@ -1,38 +1,59 @@
-// Prefix-sharing campaign engine: simulate the shared pre-crash prefix once,
-// fork at each crash point.
+// Snapshot-tree campaign engine: simulate shared execution once, fork at
+// every point where trials diverge.
 //
-// Every trial of a faults-off campaign executes the same deterministic
-// pre-crash prefix; only the crash point differs. The live engine re-executes
-// that prefix per test — O(tests × trace-length) simulated work, the dominant
-// wall-clock term of large campaigns. This engine instead sorts the shard's
-// crash points ascending, advances ONE reference machine through the kernel,
-// and at each point captures a copy-on-write fork of the simulated state
-// (durable image pages, cache hierarchy, crash clock) via the crash clock's
-// fork hook — the kernel's stack never unwinds. Each fork is handed to a
-// worker, which resumes it on a pooled machine, takes exactly the postmortem
-// the live engine takes, and finishes the test through the same finishOne /
-// runChain code the live engine uses. Total cost: O(trace-length +
-// tests × recovery).
+// Every trial of a campaign executes the same deterministic pre-crash prefix;
+// only the crash point and the per-trial fault draws differ. The live engine
+// re-executes that prefix per test — O(tests × trace-length) simulated work,
+// the dominant wall-clock term of large campaigns. This engine instead sorts
+// the campaign's crash points ascending, advances ONE reference machine
+// through the kernel, and at each point captures a copy-on-write fork of the
+// simulated state (durable image pages, cache hierarchy, crash clock) via the
+// crash clock's fork hook — the kernel's stack never unwinds. Media-fault
+// campaigns share the prefix too: the reference machine carries an inert
+// faultmodel.Recorder instead of an injector, so the shared image stays
+// clean, and each branch replays its trial's seed-drawn injections on the
+// fork (faultmodel.Injector.ReplayCrash), byte-identical to the injections a
+// live run of that trial would have drawn.
 //
-// The fast path is an engine optimisation, not a semantics change: the fork
-// hook fires precisely where the crash panic would, so the forked state is
-// byte-identical to the state a live crash leaves behind, and all golden-
-// digest replay pins hold across both engines.
+// The tree does not stop at the first crash. Recovery runs are themselves
+// shared: after every branch postmortem, trials whose next restart would
+// begin from identical durable state — same restored candidate bytes, same
+// bookmark, same poison set, same audit journal — are grouped, and ONE
+// machine executes their common recovery. Where group members' re-crash arms
+// differ (nested-failure chains draw per-trial points), the shared recovery
+// forks again at each distinct arm, so a depth-K chain is a path through the
+// tree and recovery-dominated campaigns stop paying K× recovery cost. The
+// grouping key is an exact byte comparison over the ranges the restart path
+// reads (the bookmark word and every candidate object), not a lossy hash:
+// trials grouped together are indistinguishable to the restart code by
+// construction.
+//
+// The fast path is an engine optimisation, not a semantics change: forks fire
+// precisely where crash panics would, branches replay exactly the draws the
+// live engine would make, and every attempt classifies through the same
+// restartSetup/terminalAttempt/applyAttempt code the live engine runs. All
+// golden-digest replay pins hold across both engines.
 package nvct
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"easycrash/internal/apps"
+	"easycrash/internal/faultmodel"
+	"easycrash/internal/mem"
 	"easycrash/internal/sim"
 )
 
 // forkJob hands one crash test's forked pre-crash state to a worker. Several
-// jobs share one snapshot when the campaign drew duplicate crash points.
+// jobs share one snapshot when the campaign drew duplicate crash points; the
+// snapshot is immutable and resumed read-only.
 type forkJob struct {
 	idx   int // index into the campaign's points/results
 	snap  *sim.Snapshot
@@ -41,15 +62,65 @@ type forkJob struct {
 	// point — exactly what a live crash at the same access would have
 	// captured, since the fork hook fires where the crash panic would.
 	journal apps.AckJournal
+	// inflight is the last durable write still in flight at the fork point,
+	// nil when no write happened since the last persistence sync — the state
+	// the live engine's torn-write arming inspects at the crash panic site.
+	inflight *faultmodel.InFlight
 }
 
-// runPrefixShared runs the campaign's tests off one shared reference
-// execution, filling rep.Tests/done in place. It returns false when the
-// reference run fails outside the simulated-crash protocol — the caller then
-// discards the partial results and re-runs the campaign on the live engine,
-// which isolates per-test failures. Cancellation (ctx) is not a failure: the
-// partial results stand, exactly as on the live engine.
-func (t *Tester) runPrefixShared(ctx context.Context, policy *Policy, points []uint64, trialSeedAt func(int) int64, space uint64, opts CampaignOpts, workers int, rep *Report, done []bool) bool {
+// treeMember is one trial's node state as it descends the snapshot tree: the
+// accumulated test record plus the chain cursor the next recovery attempt
+// restarts from. A terminal member carries its final record.
+type treeMember struct {
+	idx      int
+	res      TestResult
+	terminal bool
+	arm      uint64 // the current round's drawn re-crash point (0 = unarmed)
+
+	cur  chainCursor
+	inj  *faultmodel.Injector // the trial's injector; RNG advances across its chain
+	trng *rand.Rand           // the trial's re-crash point generator (nested only)
+	// budget is the trial's retry budget (nested campaigns only).
+	budget int
+}
+
+// memberGroup is one shared recovery attempt: every member restarts from
+// byte-identical durable state. rep owns the group's dump.
+type memberGroup struct {
+	rep     *treeMember
+	members []*treeMember
+}
+
+// treeEngine carries the campaign-constant state of one snapshot-tree run.
+type treeEngine struct {
+	t           *Tester
+	ctx         context.Context
+	points      []uint64
+	seedAt      func(int) int64
+	trialSeedAt func(int) int64
+	space       uint64
+	opts        CampaignOpts
+	workers     int
+	rep         *Report
+	done        []bool
+	// iterObj is the kernel's bookmark object, captured from the reference
+	// kernel after Setup; object geometry is deterministic across instances.
+	iterObj mem.Object
+}
+
+// runTreeShared runs the campaign's tests off shared execution — one
+// reference prefix run, then shared recovery rounds — filling rep.Tests/done
+// in place. It returns false when the reference run fails outside the
+// simulated-crash protocol; trials that already branched are still finished
+// and recorded (their forks precede the failure), and the caller re-runs only
+// the undone remainder on the live engine. Cancellation (ctx) is not a
+// failure: the partial results stand, exactly as on the live engine.
+func (t *Tester) runTreeShared(ctx context.Context, policy *Policy, points []uint64, seedAt, trialSeedAt func(int) int64, space uint64, opts CampaignOpts, workers int, rep *Report, done []bool) bool {
+	e := &treeEngine{
+		t: t, ctx: ctx, points: points, seedAt: seedAt, trialSeedAt: trialSeedAt,
+		space: space, opts: opts, workers: workers, rep: rep, done: done,
+	}
+
 	// Visit crash points in ascending order so one forward pass of the
 	// reference machine meets every one of them. The sort is stable so
 	// duplicate points keep their draw order (not that workers care — each
@@ -60,6 +131,9 @@ func (t *Tester) runPrefixShared(ctx context.Context, policy *Policy, points []u
 	}
 	sort.SliceStable(order, func(a, b int) bool { return points[order[a]] < points[order[b]] })
 
+	// Level 0: branch postmortems run concurrently with the advancing
+	// reference machine. members[i] is written by exactly one worker.
+	members := make([]*treeMember, len(points))
 	jobs := make(chan forkJob, 2*workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -67,11 +141,7 @@ func (t *Tester) runPrefixShared(ctx context.Context, policy *Policy, points []u
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				res, keep := t.finishForkedIsolated(ctx, j, trialSeedAt(j.idx), space, opts)
-				if keep {
-					rep.Tests[j.idx] = res
-					done[j.idx] = true
-				}
+				members[j.idx] = e.branchPrefixIsolated(j)
 			}
 		}()
 	}
@@ -92,9 +162,16 @@ func (t *Tester) runPrefixShared(ctx context.Context, policy *Policy, points []u
 		m := t.getMachine()
 		defer t.putMachine(m)
 		k.Setup(m)
+		e.iterObj = k.IterObject()
 		k.Init(m)
 		if opts.CrashDuringPersistence {
 			m.SetFlushCrashEligible(true)
+		}
+		if opts.Faults.Enabled() {
+			// Where the live engine attaches each trial's injector, the
+			// reference attaches one inert recorder: same write observation
+			// window, no mutation of the shared image.
+			m.AttachRecorder(&faultmodel.Recorder{})
 		}
 		m.SetPersister(newPolicyPersister(m, k, policy))
 		setInterrupt(ctx, m, time.Time{}, errTestTimeout)
@@ -104,10 +181,15 @@ func (t *Tester) runPrefixShared(ctx context.Context, policy *Policy, points []u
 			if ck, ok := k.(apps.ConsistencyKernel); ok {
 				journal = ck.Journal()
 			}
+			var inflight *faultmodel.InFlight
+			if w, ok := m.InFlightWrite(); ok {
+				w := w
+				inflight = &w
+			}
 			p := points[order[pos]]
 			for pos < len(order) && points[order[pos]] == p {
 				select {
-				case jobs <- forkJob{idx: order[pos], snap: snap, crash: c, journal: journal}:
+				case jobs <- forkJob{idx: order[pos], snap: snap, crash: c, journal: journal, inflight: inflight}:
 				case <-ctx.Done():
 					return 0 // stop forking; queued jobs still drain
 				}
@@ -127,10 +209,8 @@ func (t *Tester) runPrefixShared(ctx context.Context, policy *Policy, points []u
 	}()
 	close(jobs)
 	wg.Wait()
-	if refPanic != nil {
-		return false
-	}
-	if ctx.Err() == nil {
+
+	if refPanic == nil && ctx.Err() == nil {
 		// The reference run completed with crash points still pending: those
 		// points exceed the run's total accesses, so their crashes never
 		// fire — the same completed-run S1 record the live engine produces.
@@ -140,59 +220,510 @@ func (t *Tester) runPrefixShared(ctx context.Context, policy *Policy, points []u
 			done[i] = true
 		}
 	}
-	return true
+
+	// Recovery rounds finish every branched trial — valid even when the
+	// reference later failed, since each fork precedes the failure point.
+	e.runRounds(members)
+	return refPanic == nil
 }
 
-// finishForkedIsolated finishes one forked crash test, containing panics the
-// same way runOneIsolated does for live tests: a panicking recovery becomes
-// one SErr result instead of killing the worker pool; a campaign cancellation
-// discards the half-finished test.
-func (t *Tester) finishForkedIsolated(ctx context.Context, j forkJob, trialSeed int64, space uint64, opts CampaignOpts) (res TestResult, keep bool) {
+// branchPrefixIsolated takes one trial's level-0 branch postmortem, containing
+// panics the way runOneIsolated does: a panicking postmortem becomes one SErr
+// member instead of killing the worker pool; a campaign cancellation discards
+// the half-finished trial (nil member, done stays false).
+func (e *treeEngine) branchPrefixIsolated(j forkJob) (mb *treeMember) {
 	defer func() {
 		r := recover()
 		if r == nil {
 			return
 		}
 		if _, ok := r.(*sim.Abort); ok {
-			// No per-test deadline exists on the fast path, so any abort is
-			// the campaign context being cancelled.
-			res, keep = TestResult{}, false
+			mb = nil
 			return
 		}
-		res = TestResult{
+		mb = &treeMember{idx: j.idx, terminal: true, res: TestResult{
 			CrashAccess: j.crash.Access,
 			CrashRegion: sim.NoRegion,
 			Outcome:     SErr,
 			Err:         fmt.Sprint(r),
-		}
-		keep = true
+		}}
 	}()
-	return t.finishForked(ctx, j, trialSeed, space, opts), true
-}
-
-// finishForked resumes a fork on a pooled machine, takes the postmortem the
-// live engine's runPhase1 takes — per-candidate inconsistency, the optional
-// verified drain, the power loss, the durable dump — and then finishes the
-// test through the shared classification code: finishOne for classic tests,
-// runChain for nested-failure trials (whose recovery chains always run live).
-func (t *Tester) finishForked(ctx context.Context, j forkJob, trialSeed int64, space uint64, opts CampaignOpts) TestResult {
+	t := e.t
 	m := t.getMachine()
 	m.ResumeFrom(j.snap)
 	inc := make(map[string]float64, len(t.golden.Candidates))
 	for _, o := range t.golden.Candidates {
 		inc[o.Name] = m.InconsistencyRate(o)
 	}
-	if opts.Verified {
+	if e.opts.Verified {
 		m.Hierarchy().WriteBackAll()
 	}
 	m.CrashNow()
+	var media faultmodel.Injection
+	var poison map[uint64]struct{}
+	var inj *faultmodel.Injector
+	if e.opts.Faults.Enabled() {
+		// Replay the injections this trial's live run would have drawn: same
+		// seed, same image state, same in-flight write for torn-write arming.
+		inj = faultmodel.New(e.opts.Faults, e.seedAt(j.idx))
+		media = inj.ReplayCrash(m.Image(), t.extent, j.inflight)
+		poison = poisonSet(media, m)
+	}
 	dump := t.takeDump(m)
 	t.putMachine(m)
 
-	crash := j.crash
-	ps := phase1State{crash: &crash, inc: inc, dump: dump, journal: j.journal}
-	if opts.RecrashDepth > 0 {
-		return t.runChain(ctx, ps, trialSeed, space, opts, time.Time{}, errTestTimeout)
+	mb = &treeMember{
+		idx: j.idx,
+		res: TestResult{
+			CrashAccess:   j.crash.Access,
+			CrashRegion:   j.crash.Region,
+			CrashIter:     j.crash.Iter,
+			Inconsistency: inc,
+			Media:         media,
+		},
+		cur: chainCursor{
+			dump:      dump,
+			poison:    poison,
+			journal:   j.journal,
+			firstIter: j.crash.Iter,
+			prevIter:  j.crash.Iter,
+		},
+		inj: inj,
 	}
-	return t.finishOne(ctx, ps, opts, time.Time{}, errTestTimeout)
+	if e.opts.RecrashDepth > 0 {
+		mb.res.Depth = 1
+		mb.res.Chain = []ChainCrash{{Access: j.crash.Access, Region: j.crash.Region, Iter: j.crash.Iter, Media: media}}
+		mb.res.FinalInconsistency = inc
+		mb.trng = rand.New(rand.NewSource(e.trialSeedAt(j.idx)))
+		mb.budget = chainBudget(e.opts)
+	}
+	return mb
+}
+
+// record finalises one trial's result in the campaign report.
+func (e *treeEngine) record(mb *treeMember) {
+	e.rep.Tests[mb.idx] = mb.res
+	e.done[mb.idx] = true
+}
+
+// runRounds drives the recovery levels of the tree: each round every live
+// trial owes one recovery attempt; trials restarting from byte-identical
+// durable state share one attempt, and distinct re-crash arms become further
+// forks. Classic (depth-0) trials terminate after one round; nested chains
+// survive as long as their re-crashes fire and budget remains.
+func (e *treeEngine) runRounds(members []*treeMember) {
+	var active []*treeMember
+	for _, mb := range members {
+		if mb == nil {
+			continue
+		}
+		if mb.terminal {
+			e.record(mb)
+			continue
+		}
+		active = append(active, mb)
+	}
+
+	for len(active) > 0 && e.ctx.Err() == nil {
+		// Pre-attempt bookkeeping in trial order: budget spend and per-trial
+		// arm draws consume each trial's own generator, exactly as the live
+		// chain would at this attempt.
+		sort.Slice(active, func(a, b int) bool { return active[a].idx < active[b].idx })
+		ready := active[:0]
+		for _, mb := range active {
+			if e.opts.RecrashDepth > 0 {
+				arm, exhausted := nextArm(&mb.res, mb.trng, mb.budget, e.opts.RecrashDepth, e.space)
+				if exhausted {
+					// The chain still needs another restart but the budget
+					// is spent: never reached a terminal state.
+					mb.res.Outcome = S3
+					mb.res.Err = ErrRetryBudgetExhausted.Error()
+					e.t.putDump(mb.cur.dump)
+					mb.cur.dump = nil
+					mb.terminal = true
+					e.record(mb)
+					continue
+				}
+				mb.arm = arm
+			} else {
+				mb.arm = 0
+			}
+			ready = append(ready, mb)
+		}
+		groups := e.groupMembers(ready)
+		active = active[:0]
+		for _, sv := range e.runGroups(groups) {
+			active = append(active, sv...)
+		}
+	}
+	// Cancelled mid-campaign: remaining members are discarded half-finished,
+	// exactly as the live engine discards in-flight trials.
+}
+
+// groupMembers partitions the round's trials into shared recovery attempts.
+// Two trials share iff the restart path cannot distinguish them: equal crash
+// iteration, equal poison set, equal audit journal, and byte-equal dumps over
+// every range restartSetup reads (the bookmark word and all candidate
+// objects). Grouping is by exact comparison, never by lossy hash, and is
+// processed in trial order so group identity is deterministic.
+func (e *treeEngine) groupMembers(ready []*treeMember) []*memberGroup {
+	var groups []*memberGroup
+	byKey := make(map[string][]*memberGroup)
+	for _, mb := range ready {
+		key := memberKey(mb)
+		var g *memberGroup
+		for _, cand := range byKey[key] {
+			if e.dumpsEqual(cand.rep.cur.dump, mb.cur.dump) {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
+			g = &memberGroup{rep: mb, members: []*treeMember{mb}}
+			byKey[key] = append(byKey[key], g)
+			groups = append(groups, g)
+			continue
+		}
+		g.members = append(g.members, mb)
+		// The representative's dump serves the whole group.
+		e.t.putDump(mb.cur.dump)
+		mb.cur.dump = nil
+	}
+	return groups
+}
+
+// memberKey is the cheap pre-filter for grouping: trials with different crash
+// iterations, poison sets or journals can never share a restart. Dump bytes
+// are compared exactly afterwards (dumpsEqual).
+func memberKey(mb *treeMember) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "iter=%d", mb.cur.prevIter)
+	if len(mb.cur.poison) > 0 {
+		bases := make([]uint64, 0, len(mb.cur.poison))
+		//eclint:allow campaigndet — key material only; sorted before use
+		for b := range mb.cur.poison {
+			bases = append(bases, b)
+		}
+		sort.Slice(bases, func(a, b int) bool { return bases[a] < bases[b] })
+		fmt.Fprintf(&sb, " poison=%v", bases)
+	}
+	if mb.cur.journal != nil {
+		fmt.Fprintf(&sb, " journal=%#v", mb.cur.journal)
+	}
+	return sb.String()
+}
+
+// dumpsEqual compares two dumps over exactly the ranges the restart path
+// reads: the 8-byte bookmark word and every candidate object. Equality over
+// those ranges makes the restarts indistinguishable by construction —
+// everything else a recovery touches is rebuilt by Setup/Init.
+func (e *treeEngine) dumpsEqual(a, b []byte) bool {
+	it := e.iterObj
+	if !bytes.Equal(a[it.Addr:it.Addr+8], b[it.Addr:it.Addr+8]) {
+		return false
+	}
+	for _, o := range e.t.golden.Candidates {
+		if !bytes.Equal(a[o.Addr:o.End()], b[o.Addr:o.End()]) {
+			return false
+		}
+	}
+	return true
+}
+
+// runGroups executes the round's shared recovery attempts across the worker
+// pool, returning each group's surviving (re-crashed) members.
+func (e *treeEngine) runGroups(groups []*memberGroup) [][]*treeMember {
+	out := make([][]*treeMember, len(groups))
+	if e.workers <= 1 || len(groups) == 1 {
+		for i, g := range groups {
+			if e.ctx.Err() != nil {
+				break
+			}
+			out[i] = e.runGroup(g)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	workers := e.workers
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = e.runGroup(groups[i])
+			}
+		}()
+	}
+feed:
+	for i := range groups {
+		select {
+		case next <- i:
+		case <-e.ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// forkPoint is one armed re-crash captured during a shared recovery run.
+type forkPoint struct {
+	snap  *sim.Snapshot
+	crash sim.Crash
+	// journal is the merged ack journal the next life must audit against,
+	// captured at the fork instant (the crashed life's volatile journal state
+	// merged over the chain's baseline) — nil when the chain's baseline was
+	// scrubbed away or the kernel has no consistency semantics.
+	journal  apps.AckJournal
+	inflight *faultmodel.InFlight
+}
+
+// runGroup executes one shared recovery attempt: a single restart drives
+// every member's next chain step. Members whose arm fires branch at their
+// fork and survive into the next round; the rest classify from the shared
+// terminal state through the same attempt helpers the live engine uses. A
+// panic outside the crash protocol becomes SErr for the members it actually
+// reached, like runOneIsolated's containment.
+func (e *treeEngine) runGroup(g *memberGroup) (survivors []*treeMember) {
+	t := e.t
+	resolved := make([]bool, len(g.members))
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if _, ok := r.(*sim.Abort); ok {
+			return // cancellation: unresolved trials are discarded, not failed
+		}
+		for i, mb := range g.members {
+			if resolved[i] {
+				continue
+			}
+			mb.res = TestResult{
+				CrashAccess: e.points[mb.idx],
+				CrashRegion: sim.NoRegion,
+				Outcome:     SErr,
+				Err:         fmt.Sprint(r),
+			}
+			mb.terminal = true
+			e.record(mb)
+		}
+	}()
+
+	// Distinct arms ascending: the shared run forks once per distinct arm;
+	// members drawn at the same arm share the fork.
+	var arms []uint64
+	for _, mb := range g.members {
+		if mb.arm == 0 {
+			continue
+		}
+		dup := false
+		for _, a := range arms {
+			if a == mb.arm {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			arms = append(arms, mb.arm)
+		}
+	}
+	sort.Slice(arms, func(a, b int) bool { return arms[a] < arms[b] })
+
+	k := t.factory()
+	m := t.getMachine()
+	defer t.putMachine(m)
+	dump := g.rep.cur.dump
+	g.rep.cur.dump = nil
+	defer t.putDump(dump)
+	rs, early := t.restartSetup(e.ctx, k, m, dump, g.rep.cur.poison, g.rep.cur.journal, e.opts.ScrubOnRestart, time.Time{}, errTestTimeout)
+	if early != nil {
+		for i, mb := range g.members {
+			e.finishMember(mb, *early)
+			resolved[i] = true
+		}
+		return nil
+	}
+
+	fps := make(map[uint64]*forkPoint, len(arms))
+	if len(arms) > 0 {
+		if e.opts.Faults.Enabled() {
+			// The live engine attaches the trial's injector here (restartOnce
+			// arms it after the restore phase); the shared run attaches an
+			// inert recorder with the same observation window instead.
+			m.AttachRecorder(&faultmodel.Recorder{})
+		}
+		ai := 0
+		m.SetForkHook(func(c sim.Crash) uint64 {
+			fp := &forkPoint{snap: m.Fork(), crash: c}
+			if ck, ok := k.(apps.ConsistencyKernel); ok && rs.journal != nil {
+				fp.journal = rs.journal.Merge(ck.Journal())
+			}
+			if w, ok := m.InFlightWrite(); ok {
+				w := w
+				fp.inflight = &w
+			}
+			fps[arms[ai]] = fp
+			ai++
+			if ai == len(arms) {
+				return 0
+			}
+			return arms[ai]
+		})
+		m.RearmCrash(arms[0])
+	}
+
+	budget := int64(float64(t.golden.Iters) * t.cfg.MaxIterFactor)
+	executed, err, interrupted, aborted := treeRecovery(k, m, rs.from, budget)
+	if aborted {
+		return nil // campaign cancelled; unresolved trials are discarded
+	}
+
+	// Branch members first: their chains continue from their forks, and a
+	// later Result/Verify panic on the terminal machine must not take down
+	// trials whose crash preceded the terminal state.
+	needTerminal := false
+	for i, mb := range g.members {
+		if mb.arm > 0 {
+			if fp := fps[mb.arm]; fp != nil {
+				if e.branchRecoveryIsolated(mb, fp, rs) {
+					survivors = append(survivors, mb)
+				}
+				resolved[i] = true
+				continue
+			}
+			// The arm never fired: the recovery ended (or was interrupted)
+			// before reaching it — this member classifies terminally.
+		}
+		needTerminal = true
+	}
+	if !needTerminal {
+		return survivors
+	}
+
+	var st attemptResult
+	if interrupted || err != nil {
+		st = attemptResult{outcome: S3, scrubbed: rs.scrubbed, from: rs.from}
+	} else {
+		// Result and Verify read the terminal machine once; every terminal
+		// member classifies from the same values, as their live runs would
+		// have computed them from machines in identical states.
+		final := k.Result(m)
+		verifyOK := k.Verify(m, t.golden.Result)
+		st = terminalAttempt(t.golden.Iters, rs, executed, final, verifyOK, g.rep.cur.prevIter)
+	}
+	for i, mb := range g.members {
+		if resolved[i] {
+			continue
+		}
+		e.finishMember(mb, st)
+		resolved[i] = true
+	}
+	return survivors
+}
+
+// finishMember folds a terminal attempt result into one member's record —
+// through applyClassicAttempt for depth-0 trials and the chain cursor's
+// applyAttempt for nested trials, the same helpers the live engine uses.
+func (e *treeEngine) finishMember(mb *treeMember, st attemptResult) {
+	if e.opts.RecrashDepth > 0 {
+		if !mb.cur.applyAttempt(&mb.res, st, e.t.golden.Iters) {
+			// Unreachable: terminal attempt results carry no crash.
+			panic("nvct: terminal attempt extended a chain")
+		}
+	} else {
+		applyClassicAttempt(&mb.res, st)
+	}
+	mb.terminal = true
+	e.record(mb)
+}
+
+// branchRecoveryIsolated takes one member's re-crash postmortem at its fork
+// point, advancing its chain cursor to the new durable state. A panic becomes
+// that member's SErr record (false: no survivor), mirroring runOneIsolated's
+// per-trial containment.
+func (e *treeEngine) branchRecoveryIsolated(mb *treeMember, fp *forkPoint, rs restartState) (survived bool) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if _, ok := r.(*sim.Abort); ok {
+			panic(r) // cancellation is the group's to handle
+		}
+		mb.res = TestResult{
+			CrashAccess: e.points[mb.idx],
+			CrashRegion: sim.NoRegion,
+			Outcome:     SErr,
+			Err:         fmt.Sprint(r),
+		}
+		mb.terminal = true
+		e.record(mb)
+		survived = false
+	}()
+	t := e.t
+	m := t.getMachine()
+	m.ResumeFrom(fp.snap)
+	inc := make(map[string]float64, len(t.golden.Candidates))
+	for _, o := range t.golden.Candidates {
+		inc[o.Name] = m.InconsistencyRate(o)
+	}
+	if e.opts.Verified {
+		m.Hierarchy().WriteBackAll()
+	}
+	m.CrashNow()
+	var media faultmodel.Injection
+	var poison map[uint64]struct{}
+	if mb.inj != nil {
+		// The member's own injector replays this level's draws: its RNG has
+		// already consumed the trial's earlier crashes, exactly like the one
+		// injector a live chain threads through its lives.
+		media = mb.inj.ReplayCrash(m.Image(), t.extent, fp.inflight)
+		poison = poisonSet(media, m)
+	}
+	dump := t.takeDump(m)
+	t.putMachine(m)
+
+	crash := fp.crash
+	st := attemptResult{
+		scrubbed: rs.scrubbed,
+		from:     rs.from,
+		crash:    &crash,
+		media:    media,
+		dump:     dump,
+		poison:   poison,
+		inc:      inc,
+		journal:  fp.journal,
+	}
+	if mb.cur.applyAttempt(&mb.res, st, t.golden.Iters) {
+		panic("nvct: re-crash attempt did not extend the chain")
+	}
+	return true
+}
+
+// treeRecovery runs a shared recovery's main loop. With the fork hook
+// intercepting every armed point, a *sim.Crash panic cannot come from the
+// crash clock — it is re-thrown as the engine bug it is. Kernel runtime
+// panics from corrupted restored state are the interruption the live engine's
+// runRecovery reports; an Abort is the campaign being cancelled.
+func treeRecovery(k apps.Kernel, m *sim.Machine, from, budget int64) (executed int64, err error, interrupted, aborted bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isCrash := r.(*sim.Crash); isCrash {
+				panic(r) // the fork hook intercepts armed points; a bug
+			}
+			if _, isAbort := r.(*sim.Abort); isAbort {
+				aborted = true
+				return
+			}
+			interrupted = true
+		}
+	}()
+	executed, err = k.Run(m, from, budget)
+	return executed, err, false, false
 }

@@ -47,11 +47,12 @@ type ForkHook func(c Crash) (next uint64)
 func (m *Machine) SetForkHook(fn ForkHook) { m.forkFn = fn }
 
 // Fork snapshots the machine's simulated state. Only legal with no fault
-// injector attached: media faults perturb the durable image per-trial during
-// normal execution, so a shared prefix would not be state-identical to the
-// per-trial runs it stands in for — the campaign engine falls back to live
-// trials instead. Panics if an injector is attached (a programming error in
-// the engine, not a runtime condition).
+// injector attached: an injector mutates the durable image at crash time, so
+// a forked prefix must be clean of injections — fault campaigns share the
+// prefix by attaching a Recorder (which observes writes but injects nothing)
+// and replaying each trial's injections on the branch after the fork.
+// Panics if an injector is attached (a programming error in the engine, not
+// a runtime condition).
 func (m *Machine) Fork() *Snapshot {
 	if m.faults != nil {
 		panic("sim: Fork with a fault injector attached (prefix sharing requires inert media)")

@@ -107,6 +107,13 @@ type Machine struct {
 	faults       *faultmodel.Injector
 	lastWriteSeq uint64
 
+	// recorder, when attached, observes media writes without injecting:
+	// the prefix-sharing reference machine uses it to know which write was
+	// in flight at each fork point, so per-trial injectors can replay the
+	// tear without ever observing the shared prefix themselves. Mutually
+	// exclusive with faults; shares lastWriteSeq as its window anchor.
+	recorder *faultmodel.Recorder
+
 	// intrFn is invoked every intrEvery crash-clock ticks; a non-nil error
 	// aborts the run by panicking with *Abort. Used for per-test deadlines
 	// and campaign cancellation; nil costs one predictable branch per tick.
@@ -171,6 +178,7 @@ func (m *Machine) Reset() {
 	m.observer = nil
 	m.flushCrashes = false
 	m.faults = nil
+	m.recorder = nil
 	m.lastWriteSeq = 0
 	m.intrFn, m.intrEvery, m.intrCount = nil, 0, 0
 	m.forkFn = nil
@@ -218,6 +226,37 @@ func (m *Machine) AttachFaults(in *faultmodel.Injector) {
 	}
 	m.space.Image().SetWriteHook(in.ObserveWrite)
 	m.lastWriteSeq = in.WriteSeq()
+}
+
+// AttachRecorder installs a media-write recorder: it observes every media
+// write through the image's write hook but injects nothing. The machine
+// tracks the recorder's write count across crash-clock ticks the same way it
+// tracks an injector's, so InFlightWrite can tell — at a fork point — whether
+// a write was in flight, exactly as the live engine's tear-arming check
+// would. nil detaches. Mutually exclusive with AttachFaults.
+func (m *Machine) AttachRecorder(r *faultmodel.Recorder) {
+	if m.faults != nil {
+		panic("sim: AttachRecorder with a fault injector attached")
+	}
+	m.recorder = r
+	if r == nil {
+		m.space.Image().SetWriteHook(nil)
+		return
+	}
+	m.space.Image().SetWriteHook(r.ObserveWrite)
+	m.lastWriteSeq = r.WriteSeq()
+}
+
+// InFlightWrite reports the media write in flight at the current crash-clock
+// tick, per the attached recorder: the most recent write, valid only when a
+// write happened since the previous tick (the same window the live engine's
+// ArmTear check uses). It is meaningful inside a fork hook, which runs after
+// the tick and before the window is resynchronised.
+func (m *Machine) InFlightWrite() (faultmodel.InFlight, bool) {
+	if m.recorder == nil || m.recorder.WriteSeq() <= m.lastWriteSeq {
+		return faultmodel.InFlight{}, false
+	}
+	return m.recorder.Last(), true
 }
 
 // SetInterrupt installs a check invoked every `every` main-loop accesses
@@ -269,6 +308,8 @@ func (m *Machine) RearmCrash(n uint64) {
 	m.crashAt = n
 	if m.faults != nil {
 		m.lastWriteSeq = m.faults.WriteSeq()
+	} else if m.recorder != nil {
+		m.lastWriteSeq = m.recorder.WriteSeq()
 	}
 }
 
@@ -362,6 +403,8 @@ func (m *Machine) account() {
 	}
 	if m.faults != nil {
 		m.lastWriteSeq = m.faults.WriteSeq()
+	} else if m.recorder != nil {
+		m.lastWriteSeq = m.recorder.WriteSeq()
 	}
 	if m.intrFn != nil {
 		m.intrCount++
@@ -496,6 +539,8 @@ func (m *Machine) FlushRange(addr, size uint64, op cachesim.FlushOp) cachesim.Fl
 	m.persist.CleanFlushed += r.CleanFlushed
 	if m.faults != nil {
 		m.lastWriteSeq = m.faults.WriteSeq()
+	} else if m.recorder != nil {
+		m.lastWriteSeq = m.recorder.WriteSeq()
 	}
 	return r
 }
