@@ -8,13 +8,10 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"os/signal"
-	"syscall"
 
 	"easycrash/internal/apps"
 	"easycrash/internal/cli"
@@ -115,7 +112,7 @@ func main() {
 
 	// An interrupted workflow (^C, SIGTERM) cancels the running campaign
 	// cleanly and still prints the evidence gathered so far.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.SignalContext()
 	defer stop()
 	// Profiles bracket the workflow's campaigns — the hot path worth
 	// measuring — so they are finalised before any of the exit paths below.

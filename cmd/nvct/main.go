@@ -27,15 +27,12 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"os/signal"
 	"sort"
 	"strings"
-	"syscall"
 
 	"easycrash/internal/apps"
 	"easycrash/internal/cli"
@@ -138,7 +135,7 @@ func main() {
 	}
 	// An interrupted campaign (^C, SIGTERM) cancels cleanly: in-flight tests
 	// abort, and the partial report of completed tests is still printed.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.SignalContext()
 	defer stop()
 	if oracleFlags.Repro >= 0 {
 		// Repro mode: re-derive the campaign's trial plan from the seed and
@@ -168,6 +165,12 @@ func main() {
 	}
 	if rep == nil {
 		log.Fatal(err)
+	}
+	// Flush the JSON evidence before anything that can exit: an interrupted
+	// campaign, zero completed tests, or a violation gate below must never
+	// discard the report of the trials that did complete.
+	if werr := oracleFlags.WriteReport(rep); werr != nil {
+		log.Fatal(werr)
 	}
 	if err != nil {
 		stop() // a second signal kills the process the default way
@@ -251,11 +254,8 @@ func main() {
 		}
 		fmt.Printf("  %-10s %.4f\n", name, sum/float64(len(rates)))
 	}
-	if werr := oracleFlags.WriteReport(rep); werr != nil {
-		log.Fatal(werr)
-	}
 	if err != nil {
-		os.Exit(1) // the report above is partial
+		os.Exit(1) // the report written above is partial
 	}
 	if gerr := oracleFlags.CheckViolations(rep); gerr != nil {
 		log.Fatal(gerr)

@@ -1,0 +1,167 @@
+// The evidence trail: every supervised run writes an artifact directory that
+// makes its result independently checkable and its failures reproducible
+// without re-running the campaign — the spec, the exact command line, the
+// merged report (byte-identical to `nvct -json` for a complete run), the
+// per-shard supervision record, and for failing trials a ready-to-paste repro
+// command plus the durable dump the recovery read.
+package campaignd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"easycrash/internal/cli"
+	"easycrash/internal/nvct"
+)
+
+// Run-directory layout.
+const (
+	specFile   = "spec.json"   // the campaign spec workers ran from
+	metaFile   = "meta.json"   // invocation metadata (command line, shape)
+	reportFile = "report.json" // merged report, nvct's stable serialization
+	statusFile = "status.json" // per-shard supervision outcome
+	shardsDir  = "shards"      // raw worker shard files
+	failDir    = "failures"    // per-failing-trial evidence
+)
+
+// runMeta is the meta.json payload: enough to re-issue the run verbatim.
+type runMeta struct {
+	CommandLine []string `json:"command_line"`
+	Kernel      string   `json:"kernel"`
+	Tests       int      `json:"tests"`
+	Seed        int64    `json:"seed"`
+	Shards      int      `json:"shards"`
+	MaxAttempts int      `json:"max_attempts"`
+	Chaos       string   `json:"chaos,omitempty"`
+}
+
+// runStatus is the status.json payload: the supervision record plus the
+// fingerprint ledger.
+type runStatus struct {
+	Complete       bool             `json:"complete"`
+	Delivered      int              `json:"delivered"`
+	Requested      int              `json:"requested"`
+	Missing        []int            `json:"missing,omitempty"`
+	Shards         []ShardStatus    `json:"shards"`
+	FailingTrials  int              `json:"failing_trials"`
+	NewFailures    int              `json:"new_failures"`
+	KnownFailures  int              `json:"known_failures"`
+	FailureClasses []*FailureRecord `json:"failure_classes,omitempty"`
+}
+
+// initRunDir creates the run directory skeleton and writes the spec and meta
+// files before any worker starts, so even a run that dies early leaves a
+// record of what it was. It returns the spec path workers load.
+func initRunDir(cfg *Config) (specPath string, err error) {
+	if err := os.MkdirAll(filepath.Join(cfg.RunDir, shardsDir), 0o755); err != nil {
+		return "", err
+	}
+	specPath = filepath.Join(cfg.RunDir, specFile)
+	if err := cfg.Spec.WriteFile(specPath); err != nil {
+		return "", err
+	}
+	meta := runMeta{
+		CommandLine: cfg.CommandLine,
+		Kernel:      cfg.Spec.Kernel,
+		Tests:       cfg.Spec.Opts.Tests,
+		Seed:        cfg.Spec.Opts.Seed,
+		Shards:      cfg.Shards,
+		MaxAttempts: cfg.MaxAttempts,
+		Chaos:       cfg.Chaos,
+	}
+	if err := writeJSONFile(filepath.Join(cfg.RunDir, metaFile), meta); err != nil {
+		return "", err
+	}
+	return specPath, nil
+}
+
+// writeArtifacts records the run's outcome: the merged report, the
+// supervision status, and per-failing-trial evidence.
+func writeArtifacts(ctx context.Context, cfg Config, res *Result) error {
+	b, err := res.Report.JSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(cfg.RunDir, reportFile), b, 0o644); err != nil {
+		return err
+	}
+	status := runStatus{
+		Complete:       res.Complete,
+		Delivered:      len(res.Report.Tests),
+		Requested:      res.Report.Requested,
+		Missing:        res.Missing,
+		Shards:         res.Shards,
+		FailingTrials:  res.FailingTrials,
+		NewFailures:    res.NewFailures,
+		KnownFailures:  res.KnownFailures,
+		FailureClasses: res.FailureClasses,
+	}
+	if err := writeJSONFile(filepath.Join(cfg.RunDir, statusFile), status); err != nil {
+		return err
+	}
+	return writeFailureEvidence(ctx, cfg, res)
+}
+
+// writeFailureEvidence archives, for up to EvidenceTrials failure classes, the
+// class's example trial: the repro command, the trial postmortem, and the
+// durable dump recovery started from (re-derived from the seed — retrying is
+// deterministic, so the evidence is exactly what the worker saw). A negative
+// EvidenceTrials disables dumps; repro.txt is still cheap enough to always
+// write.
+func writeFailureEvidence(ctx context.Context, cfg Config, res *Result) error {
+	if len(res.FailureClasses) == 0 {
+		return nil
+	}
+	var tester *nvct.Tester
+	dumps := cfg.EvidenceTrials
+	for _, class := range res.FailureClasses {
+		dir := filepath.Join(cfg.RunDir, failDir, fmt.Sprintf("trial-%06d", class.ExampleTrial))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		repro := "nvct " + strings.Join(cfg.Spec.ReproArgs(class.ExampleTrial), " ") + "\n"
+		if err := os.WriteFile(filepath.Join(dir, "repro.txt"), []byte(repro), 0o644); err != nil {
+			return err
+		}
+		if dumps <= 0 || ctx.Err() != nil {
+			continue
+		}
+		dumps--
+		if tester == nil {
+			t, err := cfg.Spec.NewTester()
+			if err != nil {
+				return err
+			}
+			tester = t
+		}
+		tr, dump, err := tester.ReproTrialDump(ctx, cfg.Spec.Policy, cfg.Spec.Opts, class.ExampleTrial)
+		if err != nil {
+			// Evidence is best-effort — the run result is already on disk —
+			// but a skipped dump must be visible, not silent.
+			fmt.Fprintf(cfg.Log, "evidence: trial %d dump skipped: %v\n", class.ExampleTrial, err)
+			continue
+		}
+		var pm strings.Builder
+		cli.PrintTrial(&pm, class.ExampleTrial, tr)
+		fmt.Fprintf(&pm, "  fingerprint: %s (%d trial(s) this run)\n", class.Fingerprint, class.Count)
+		if err := os.WriteFile(filepath.Join(dir, "postmortem.txt"), []byte(pm.String()), 0o644); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, "dump.bin"), dump, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeJSONFile(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,181 @@
+// Failure fingerprinting and known-failure dedup.
+//
+// A sweep that reports the same 40 media-fault interruptions every night
+// buries the one new wrong-answer among them. Fingerprints collapse failing
+// trials into equivalence classes — same outcome, same crash-chain shape,
+// same error and violations, same coarse inconsistency signature — and a
+// persistent store of previously seen fingerprints splits each run's
+// failures into "N new / M known". The fingerprint deliberately excludes
+// exact crash accesses and iteration numbers: two trials that died the same
+// way at different points of the loop are the same failure mode, and a
+// fingerprint that changes with every seed would make dedup useless.
+package campaignd
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"easycrash/internal/nvct"
+)
+
+// Fingerprint condenses one failing trial into a stable identity:
+// outcome + chain shape (the region sequence of its crashes and its depth) +
+// engine/workload error + itemised violations + the per-object inconsistency
+// signature bucketed to one decimal. Trials with equal fingerprints are the
+// same failure mode for dedup purposes.
+func Fingerprint(tr nvct.TestResult) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "out=%s err=%q scrub=%d\n", tr.Outcome, tr.Err, tr.ScrubbedObjects)
+	if len(tr.Chain) > 0 {
+		fmt.Fprintf(h, "depth=%d\n", tr.Depth)
+		for _, c := range tr.Chain {
+			fmt.Fprintf(h, "chain reg=%d\n", c.Region)
+		}
+	} else {
+		fmt.Fprintf(h, "reg=%d\n", tr.CrashRegion)
+	}
+	for _, v := range tr.Violations {
+		fmt.Fprintf(h, "viol=%q\n", v)
+	}
+	names := make([]string, 0, len(tr.Inconsistency))
+	for name := range tr.Inconsistency {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(h, "inc %s=%.1f\n", name, tr.Inconsistency[name])
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// FailureRecord is one fingerprinted failure mode.
+type FailureRecord struct {
+	Fingerprint string `json:"fingerprint"`
+	Outcome     string `json:"outcome"`
+	Err         string `json:"err,omitempty"`
+	// ExampleTrial is the lowest campaign trial index that exhibited this
+	// failure when it was first recorded — the index to hand -repro.
+	ExampleTrial int `json:"example_trial"`
+	// Count is the number of trials exhibiting this failure in the most
+	// recent run that observed it (not a lifetime total, so re-running an
+	// identical campaign leaves the store byte-identical).
+	Count int `json:"count"`
+}
+
+// KnownStore is the persistent set of failure fingerprints previous runs
+// recorded. The zero path is an in-memory store (nothing persists).
+type KnownStore struct {
+	path    string
+	records map[string]*FailureRecord
+}
+
+// LoadKnownStore reads the store at path; a missing file is an empty store.
+func LoadKnownStore(path string) (*KnownStore, error) {
+	ks := &KnownStore{path: path, records: make(map[string]*FailureRecord)}
+	if path == "" {
+		return ks, nil
+	}
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return ks, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var recs []*FailureRecord
+	if err := json.Unmarshal(b, &recs); err != nil {
+		return nil, fmt.Errorf("campaignd: malformed known-failure store %s: %w", path, err)
+	}
+	for _, r := range recs {
+		ks.records[r.Fingerprint] = r
+	}
+	return ks, nil
+}
+
+// Known reports whether the fingerprint was present when the store was
+// loaded or added since.
+func (ks *KnownStore) Known(fp string) bool {
+	_, ok := ks.records[fp]
+	return ok
+}
+
+// Len returns the number of distinct failure modes in the store.
+func (ks *KnownStore) Len() int { return len(ks.records) }
+
+// Record folds one run's failure classes into the store, returning how many
+// were new and how many were already known. Each class updates its record's
+// Count and Outcome to the current run's observation; ExampleTrial keeps its
+// first-recorded value so archived repro pointers stay valid.
+func (ks *KnownStore) Record(classes []*FailureRecord) (newFailures, knownFailures int) {
+	for _, c := range classes {
+		if old, ok := ks.records[c.Fingerprint]; ok {
+			knownFailures++
+			old.Outcome, old.Err, old.Count = c.Outcome, c.Err, c.Count
+			continue
+		}
+		newFailures++
+		cp := *c
+		ks.records[c.Fingerprint] = &cp
+	}
+	return newFailures, knownFailures
+}
+
+// Save writes the store back (stable order: sorted by fingerprint). A
+// path-less store saves nowhere.
+func (ks *KnownStore) Save() error {
+	if ks.path == "" {
+		return nil
+	}
+	recs := make([]*FailureRecord, 0, len(ks.records))
+	for _, r := range ks.records {
+		recs = append(recs, r)
+	}
+	sort.Slice(recs, func(a, b int) bool { return recs[a].Fingerprint < recs[b].Fingerprint })
+	b, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(ks.path, append(b, '\n'))
+}
+
+// ClassifyFailures fingerprints every non-successful trial of the delivered
+// shard parts, returning the distinct failure classes sorted by fingerprint
+// and the total count of failing trials. DUE outcomes under perfect scrub
+// configurations, S3 interruptions, wrong answers, engine errors and oracle
+// violations all count; S1/S2 successes do not.
+func ClassifyFailures(parts []*nvct.ShardReport) (classes []*FailureRecord, failing int) {
+	byFP := make(map[string]*FailureRecord)
+	for _, p := range parts {
+		for _, tr := range p.Trials {
+			if tr.Res.Success() {
+				continue
+			}
+			failing++
+			fp := Fingerprint(tr.Res)
+			if r, ok := byFP[fp]; ok {
+				r.Count++
+				if tr.Index < r.ExampleTrial {
+					r.ExampleTrial = tr.Index
+				}
+				continue
+			}
+			byFP[fp] = &FailureRecord{
+				Fingerprint:  fp,
+				Outcome:      tr.Res.Outcome.String(),
+				Err:          tr.Res.Err,
+				ExampleTrial: tr.Index,
+				Count:        1,
+			}
+		}
+	}
+	classes = make([]*FailureRecord, 0, len(byFP))
+	for _, r := range byFP {
+		classes = append(classes, r)
+	}
+	sort.Slice(classes, func(a, b int) bool { return classes[a].Fingerprint < classes[b].Fingerprint })
+	return classes, failing
+}

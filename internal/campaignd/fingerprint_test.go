@@ -1,0 +1,196 @@
+package campaignd_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"easycrash/internal/campaignd"
+	"easycrash/internal/nvct"
+)
+
+func TestParseChaos(t *testing.T) {
+	c, err := campaignd.ParseChaos("crash@0.1, hang@1.1,garble@2.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		shard, attempt int
+		want           string
+	}{
+		{0, 1, "crash"}, {1, 1, "hang"}, {2, 3, "garble"},
+		{0, 2, ""}, {3, 1, ""},
+	} {
+		if got := c.Mode(tc.shard, tc.attempt); got != tc.want {
+			t.Errorf("Mode(%d,%d) = %q, want %q", tc.shard, tc.attempt, got, tc.want)
+		}
+	}
+	if c, err := campaignd.ParseChaos(""); c != nil || err != nil {
+		t.Errorf("ParseChaos(\"\") = %v, %v", c, err)
+	}
+	for _, bad := range []string{
+		"explode@0.1", // unknown mode
+		"crash@0",     // no attempt
+		"crash",       // no target
+		"crash@x.1",   // bad shard
+		"crash@0.0",   // attempts count from 1
+		"crash@-1.1",  // negative shard
+	} {
+		if _, err := campaignd.ParseChaos(bad); err == nil {
+			t.Errorf("ParseChaos(%q) accepted", bad)
+		}
+	}
+}
+
+// failingTrial is a representative non-successful trial for fingerprint tests.
+func failingTrial() nvct.TestResult {
+	return nvct.TestResult{
+		Outcome:       nvct.S3,
+		Err:           "recovery failed: bad bookmark",
+		CrashRegion:   2,
+		CrashAccess:   1234,
+		CrashIter:     7,
+		Inconsistency: map[string]float64{"u": 0.43, "r": 0.01},
+	}
+}
+
+func TestFingerprintIgnoresCrashLocation(t *testing.T) {
+	a := failingTrial()
+	b := failingTrial()
+	b.CrashAccess = 99999 // same failure mode at a different point of the loop
+	b.CrashIter = 2
+	b.Inconsistency["u"] = 0.44 // within the same 0.1 bucket
+	if campaignd.Fingerprint(a) != campaignd.Fingerprint(b) {
+		t.Error("fingerprint varies with crash access/iteration")
+	}
+}
+
+func TestFingerprintSeparatesFailureModes(t *testing.T) {
+	base := failingTrial()
+	fps := map[string]string{"base": campaignd.Fingerprint(base)}
+	variants := map[string]func(*nvct.TestResult){
+		"outcome":   func(tr *nvct.TestResult) { tr.Outcome = nvct.SDue },
+		"err":       func(tr *nvct.TestResult) { tr.Err = "recovery failed: torn header" },
+		"region":    func(tr *nvct.TestResult) { tr.CrashRegion = 3 },
+		"inc":       func(tr *nvct.TestResult) { tr.Inconsistency["u"] = 0.93 },
+		"violation": func(tr *nvct.TestResult) { tr.Violations = []string{"lost update k=4"} },
+		"chain": func(tr *nvct.TestResult) {
+			tr.Chain = []nvct.ChainCrash{{Region: 2}, {Region: 0}}
+			tr.Depth = 2
+		},
+	}
+	for name, mutate := range variants {
+		tr := failingTrial()
+		tr.Inconsistency = map[string]float64{"u": 0.43, "r": 0.01}
+		mutate(&tr)
+		fp := campaignd.Fingerprint(tr)
+		for prev, prevFP := range fps {
+			if fp == prevFP {
+				t.Errorf("variant %q collides with %q", name, prev)
+			}
+		}
+		fps[name] = fp
+	}
+}
+
+func TestKnownStoreDedupAndStability(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "known.json")
+	classes := []*campaignd.FailureRecord{
+		{Fingerprint: "aaaa", Outcome: "S3", ExampleTrial: 4, Count: 3},
+		{Fingerprint: "bbbb", Outcome: "DUE", ExampleTrial: 9, Count: 1},
+	}
+
+	ks, err := campaignd.LoadKnownStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks.Len() != 0 {
+		t.Fatalf("fresh store has %d records", ks.Len())
+	}
+	if n, k := ks.Record(classes); n != 2 || k != 0 {
+		t.Fatalf("first run: %d new / %d known, want 2 / 0", n, k)
+	}
+	if err := ks.Save(); err != nil {
+		t.Fatal(err)
+	}
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An identical rerun: everything known, and the store file stays
+	// byte-identical (Count is per-run, not cumulative).
+	ks2, err := campaignd.LoadKnownStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, k := ks2.Record(classes); n != 0 || k != 2 {
+		t.Fatalf("rerun: %d new / %d known, want 0 / 2", n, k)
+	}
+	if err := ks2.Save(); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Errorf("store not byte-stable across identical reruns:\n%s\nvs\n%s", first, second)
+	}
+
+	// A new failure mode alongside the known ones.
+	ks3, err := campaignd.LoadKnownStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	more := append(classes, &campaignd.FailureRecord{Fingerprint: "cccc", Outcome: "VIOL", ExampleTrial: 2, Count: 1})
+	if n, k := ks3.Record(more); n != 1 || k != 2 {
+		t.Fatalf("third run: %d new / %d known, want 1 / 2", n, k)
+	}
+
+	// ExampleTrial keeps its first-recorded value so archived evidence
+	// pointers stay valid even if a later run sees the mode elsewhere first.
+	moved := []*campaignd.FailureRecord{{Fingerprint: "aaaa", Outcome: "S3", ExampleTrial: 17, Count: 1}}
+	ks3.Record(moved)
+	if err := ks3.Save(); err != nil {
+		t.Fatal(err)
+	}
+	ks4, err := campaignd.LoadKnownStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ks4.Known("aaaa") || !ks4.Known("cccc") || ks4.Len() != 3 {
+		t.Fatalf("store after third run: len %d", ks4.Len())
+	}
+}
+
+func TestClassifyFailures(t *testing.T) {
+	mk := func(idx int, out nvct.Outcome, err string) nvct.ShardTrial {
+		return nvct.ShardTrial{Index: idx, Res: nvct.TestResult{Outcome: out, Err: err}}
+	}
+	parts := []*nvct.ShardReport{
+		{Trials: []nvct.ShardTrial{mk(0, nvct.S1, ""), mk(2, nvct.S3, "x"), mk(4, nvct.S3, "x")}},
+		{Trials: []nvct.ShardTrial{mk(1, nvct.S2, ""), mk(3, nvct.SDue, ""), mk(5, nvct.S3, "x")}},
+	}
+	classes, failing := campaignd.ClassifyFailures(parts)
+	if failing != 4 {
+		t.Fatalf("failing = %d, want 4", failing)
+	}
+	if len(classes) != 2 {
+		t.Fatalf("classes = %d, want 2", len(classes))
+	}
+	for _, c := range classes {
+		switch c.Outcome {
+		case "S3":
+			if c.Count != 3 || c.ExampleTrial != 2 {
+				t.Errorf("S3 class: count %d example %d, want 3 / 2", c.Count, c.ExampleTrial)
+			}
+		case "DUE":
+			if c.Count != 1 || c.ExampleTrial != 3 {
+				t.Errorf("DUE class: count %d example %d, want 1 / 3", c.Count, c.ExampleTrial)
+			}
+		default:
+			t.Errorf("unexpected class outcome %s", c.Outcome)
+		}
+	}
+}

@@ -1,0 +1,492 @@
+// The supervisor: shard scheduling, heartbeat watchdogs, kill/retry with
+// capped exponential backoff, and graceful degradation to a partial merged
+// report when a shard's retry budget is exhausted.
+package campaignd
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"easycrash/internal/nvct"
+)
+
+// Config configures one supervised campaign run.
+type Config struct {
+	// Spec is the campaign to run.
+	Spec *Spec
+	// Shards is the number of worker shards (>= 1).
+	Shards int
+	// RunDir is the artifact directory for this run; it is created (and must
+	// not already contain a run).
+	RunDir string
+	// KnownPath is the persistent known-failure store, shared across runs;
+	// empty disables dedup persistence (every failure reports as new).
+	KnownPath string
+
+	// MaxAttempts is the retry budget per shard (first attempt included).
+	// Default 3.
+	MaxAttempts int
+	// BackoffBase and BackoffCap bound the capped exponential backoff before
+	// attempt n+1: min(Base << (n-1), Cap). Defaults 100ms / 2s.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// Heartbeat is the interval workers are told to emit heartbeats at
+	// (default 200ms); HeartbeatTimeout is the silence after which the
+	// supervisor declares a worker hung and kills it (default 10x Heartbeat,
+	// min 2s — generous enough for a worker's reference prefix run to finish
+	// between beats on a loaded machine).
+	Heartbeat        time.Duration
+	HeartbeatTimeout time.Duration
+	// StartupGrace is how long a worker may run before its FIRST heartbeat
+	// without being declared hung (default 30s, min HeartbeatTimeout). It is
+	// deliberately separate from HeartbeatTimeout: process startup — exec,
+	// runtime init, spec load — is the one silent stretch whose length the
+	// supervisor cannot pace, and is far slower on loaded or instrumented
+	// machines. Once a worker has beaten once, HeartbeatTimeout governs.
+	StartupGrace time.Duration
+	// DrainGrace is how long a cancelled run waits after SIGTERM before
+	// SIGKILLing workers that have not exited (default 5s).
+	DrainGrace time.Duration
+	// Concurrency caps the shards in flight at once (default
+	// min(Shards, GOMAXPROCS)).
+	Concurrency int
+	// EvidenceTrials caps the failing trials whose durable dump is re-derived
+	// and archived (default 5; the repro command is archived for all).
+	EvidenceTrials int
+
+	// Chaos is the test-only worker failure injection, passed through to
+	// every worker (see ParseChaos).
+	Chaos string
+	// WorkerCommand is the argv prefix workers are launched with; the worker
+	// flags are appended. Default: the running executable with a "worker"
+	// first argument. Tests point it at the test binary.
+	WorkerCommand []string
+	// WorkerEnv is appended to the workers' environment.
+	WorkerEnv []string
+	// CommandLine is recorded in the run's meta.json (default os.Args).
+	CommandLine []string
+	// Log receives supervisor progress lines (default io.Discard).
+	Log io.Writer
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Spec == nil {
+		return c, fmt.Errorf("campaignd: config without spec")
+	}
+	if err := c.Spec.Validate(); err != nil {
+		return c, err
+	}
+	if c.Shards <= 0 {
+		return c, fmt.Errorf("campaignd: %d shards, want >= 1", c.Shards)
+	}
+	if c.RunDir == "" {
+		return c, fmt.Errorf("campaignd: config without run directory")
+	}
+	if _, err := ParseChaos(c.Chaos); err != nil {
+		return c, err
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 100 * time.Millisecond
+	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = 2 * time.Second
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 200 * time.Millisecond
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 10 * c.Heartbeat
+		if c.HeartbeatTimeout < 2*time.Second {
+			c.HeartbeatTimeout = 2 * time.Second
+		}
+	}
+	if c.StartupGrace <= 0 {
+		c.StartupGrace = 30 * time.Second
+	}
+	if c.StartupGrace < c.HeartbeatTimeout {
+		c.StartupGrace = c.HeartbeatTimeout
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = 5 * time.Second
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = runtime.GOMAXPROCS(0)
+	}
+	if c.Concurrency > c.Shards {
+		c.Concurrency = c.Shards
+	}
+	if c.EvidenceTrials == 0 {
+		c.EvidenceTrials = 5
+	}
+	if len(c.WorkerCommand) == 0 {
+		self, err := os.Executable()
+		if err != nil {
+			return c, fmt.Errorf("campaignd: resolving worker executable: %w", err)
+		}
+		c.WorkerCommand = []string{self, "worker"}
+	}
+	if c.CommandLine == nil {
+		c.CommandLine = os.Args
+	}
+	if c.Log == nil {
+		c.Log = io.Discard
+	}
+	return c, nil
+}
+
+// AttemptFailure records why one worker attempt did not deliver its shard.
+type AttemptFailure struct {
+	Attempt int    `json:"attempt"`
+	Kind    string `json:"kind"` // dead | hung | garbled | incomplete | spawn
+	Detail  string `json:"detail"`
+}
+
+// Shard states.
+const (
+	// ShardOK: the shard delivered all of its trials.
+	ShardOK = "ok"
+	// ShardPartial: the run was cancelled while the shard was in flight; the
+	// drained worker delivered the trials it had finished.
+	ShardPartial = "partial"
+	// ShardExhausted: every attempt in the retry budget failed; the shard
+	// delivered nothing (graceful degradation: the other shards still merge).
+	ShardExhausted = "exhausted"
+	// ShardCancelled: the run was cancelled before the shard delivered
+	// anything (including backoff waits cut short).
+	ShardCancelled = "cancelled"
+)
+
+// ShardStatus is one shard's final accounting.
+type ShardStatus struct {
+	Shard    int              `json:"shard"`
+	State    string           `json:"state"`
+	Attempts int              `json:"attempts"`
+	Trials   int              `json:"trials"`
+	Expected int              `json:"expected"`
+	Failures []AttemptFailure `json:"failures,omitempty"`
+}
+
+// Result is the outcome of one supervised campaign run.
+type Result struct {
+	// Report is the merged campaign report — complete when every shard
+	// delivered, partial otherwise. Byte-identical to the single-process
+	// engine's report when complete.
+	Report *nvct.Report
+	// Shards is the per-shard status, indexed by shard number.
+	Shards []ShardStatus
+	// Missing lists the campaign trial indices no shard delivered.
+	Missing []int
+	// Complete reports whether every trial was delivered.
+	Complete bool
+	// FailureClasses are the run's fingerprinted failure modes (sorted by
+	// fingerprint); NewFailures/KnownFailures split them against the
+	// known-failure store loaded at start.
+	FailureClasses []*FailureRecord
+	FailingTrials  int
+	NewFailures    int
+	KnownFailures  int
+	// RunDir is the artifact directory written for this run.
+	RunDir string
+}
+
+// Run executes one supervised sharded campaign: spawn workers per shard,
+// monitor them, retry failures under backoff, merge what arrives, fingerprint
+// and dedup failures, and write the artifact directory. Cancellation of ctx
+// drains workers (SIGTERM, grace, SIGKILL) and still returns — and archives —
+// the partial result. The returned error is only for setup-level failures
+// (bad config, unwritable run directory); worker failures are data, reported
+// in the Result, never an error-only exit.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	specPath, err := initRunDir(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	known, err := LoadKnownStore(cfg.KnownPath)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &supervisor{cfg: cfg, specPath: specPath}
+	statuses := make([]ShardStatus, cfg.Shards)
+	parts := make([]*nvct.ShardReport, 0, cfg.Shards)
+	var mu sync.Mutex
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Concurrency)
+	for shard := 0; shard < cfg.Shards; shard++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			part, status := s.runShard(ctx, shard)
+			mu.Lock()
+			defer mu.Unlock()
+			statuses[shard] = status
+			if part != nil {
+				parts = append(parts, part)
+			}
+		}(shard)
+	}
+	wg.Wait()
+
+	res := &Result{Shards: statuses, RunDir: cfg.RunDir}
+	if len(parts) == 0 {
+		// Nothing delivered at all: synthesize an empty report so the caller
+		// (and the artifact directory) still get per-shard status, not an
+		// error-only exit.
+		res.Report = &nvct.Report{
+			Kernel:    cfg.Spec.Kernel,
+			Policy:    cfg.Spec.Policy,
+			Requested: cfg.Spec.Opts.Tests,
+		}
+		for i := 0; i < cfg.Spec.Opts.Tests; i++ {
+			res.Missing = append(res.Missing, i)
+		}
+	} else {
+		rep, err := nvct.MergeShards(cfg.Spec.Policy, parts)
+		if err != nil {
+			// Cannot happen with validated shard files; if it does, it is a
+			// supervisor bug worth failing loudly on.
+			return nil, err
+		}
+		res.Report = rep
+		res.Missing = nvct.MissingTrials(parts)
+	}
+	res.Complete = len(res.Missing) == 0
+
+	res.FailureClasses, res.FailingTrials = ClassifyFailures(parts)
+	res.NewFailures, res.KnownFailures = known.Record(res.FailureClasses)
+	if err := known.Save(); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(cfg.Log, "campaign: %d/%d trials delivered, %d failing trial(s) in %d class(es): %d new / %d known\n",
+		len(res.Report.Tests), res.Report.Requested, res.FailingTrials, len(res.FailureClasses), res.NewFailures, res.KnownFailures)
+
+	if err := writeArtifacts(ctx, cfg, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// supervisor carries the per-run constants of the worker-management loop.
+type supervisor struct {
+	cfg      Config
+	specPath string
+}
+
+// runShard drives one shard to completion: attempts under the retry budget,
+// capped exponential backoff between them, and partial acceptance when the
+// run is being drained.
+func (s *supervisor) runShard(ctx context.Context, shard int) (*nvct.ShardReport, ShardStatus) {
+	cfg := s.cfg
+	expected := len(nvct.Shard{Index: shard, Count: cfg.Shards}.Indices(cfg.Spec.Opts.Tests))
+	status := ShardStatus{Shard: shard, State: ShardCancelled, Expected: expected}
+	for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
+		if ctx.Err() != nil {
+			return nil, status
+		}
+		if attempt > 1 {
+			backoff := cfg.BackoffBase << (attempt - 2)
+			if backoff > cfg.BackoffCap {
+				backoff = cfg.BackoffCap
+			}
+			fmt.Fprintf(cfg.Log, "shard %d: attempt %d in %v\n", shard, attempt, backoff)
+			t := time.NewTimer(backoff)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, status
+			}
+		}
+		status.Attempts = attempt
+		part, failure := s.runAttempt(ctx, shard, attempt)
+		if part != nil {
+			status.Trials = len(part.Trials)
+			if len(part.Trials) == expected {
+				status.State = ShardOK
+				fmt.Fprintf(cfg.Log, "shard %d: ok (%d trials, attempt %d)\n", shard, len(part.Trials), attempt)
+			} else {
+				status.State = ShardPartial
+				fmt.Fprintf(cfg.Log, "shard %d: drained with %d/%d trials\n", shard, len(part.Trials), expected)
+			}
+			return part, status
+		}
+		status.Failures = append(status.Failures, *failure)
+		fmt.Fprintf(cfg.Log, "shard %d: attempt %d %s: %s\n", shard, attempt, failure.Kind, failure.Detail)
+	}
+	status.State = ShardExhausted
+	fmt.Fprintf(cfg.Log, "shard %d: retry budget exhausted after %d attempts\n", shard, cfg.MaxAttempts)
+	return nil, status
+}
+
+// runAttempt launches and monitors one worker process. It returns either a
+// validated shard report (possibly partial if the run is draining) or the
+// attempt's failure classification.
+func (s *supervisor) runAttempt(ctx context.Context, shard, attempt int) (*nvct.ShardReport, *AttemptFailure) {
+	cfg := s.cfg
+	fail := func(kind, format string, args ...any) (*nvct.ShardReport, *AttemptFailure) {
+		return nil, &AttemptFailure{Attempt: attempt, Kind: kind, Detail: fmt.Sprintf(format, args...)}
+	}
+
+	outPath := filepath.Join(cfg.RunDir, "shards", fmt.Sprintf("shard-%03d.json", shard))
+	// A previous attempt may have been killed after writing (or a garbling
+	// chaos worker wrote junk): start every attempt from a clean slate so a
+	// stale file can never be mistaken for this attempt's output.
+	if err := os.Remove(outPath); err != nil && !os.IsNotExist(err) {
+		return fail("spawn", "removing stale shard file: %v", err)
+	}
+
+	args := append(append([]string(nil), cfg.WorkerCommand[1:]...),
+		"-spec", s.specPath,
+		"-shard", strconv.Itoa(shard),
+		"-shards", strconv.Itoa(cfg.Shards),
+		"-attempt", strconv.Itoa(attempt),
+		"-out", outPath,
+		"-hb", cfg.Heartbeat.String(),
+	)
+	if cfg.Chaos != "" {
+		args = append(args, "-chaos", cfg.Chaos)
+	}
+	cmd := exec.Command(cfg.WorkerCommand[0], args...)
+	cmd.Env = append(os.Environ(), cfg.WorkerEnv...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return fail("spawn", "stdout pipe: %v", err)
+	}
+	if err := cmd.Start(); err != nil {
+		return fail("spawn", "starting worker: %v", err)
+	}
+
+	// lastBeat is the liveness clock, stamped on every heartbeat line the
+	// worker prints; zero means no beat yet. The watchdog below kills the
+	// worker when it goes silent for longer than the heartbeat timeout — or,
+	// before its first beat, the startup grace.
+	started := time.Now()
+	var lastBeat atomic.Int64
+	scanDone := make(chan struct{})
+	go func() {
+		defer close(scanDone)
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, heartbeatPrefix) {
+				lastBeat.Store(time.Now().UnixNano())
+			}
+		}
+	}()
+
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+
+	var hung, drained bool
+	var hungGap time.Duration
+	var exitErr error
+	ticker := time.NewTicker(cfg.HeartbeatTimeout / 4)
+	defer ticker.Stop()
+	var drainKill <-chan time.Time
+monitor:
+	for {
+		select {
+		case exitErr = <-waitErr:
+			break monitor
+		case <-ticker.C:
+			lb := lastBeat.Load()
+			var gap time.Duration
+			if lb == 0 {
+				gap = time.Since(started)
+			} else {
+				gap = time.Since(time.Unix(0, lb))
+			}
+			if lb == 0 && gap > cfg.StartupGrace || lb != 0 && gap > cfg.HeartbeatTimeout {
+				hung = true
+				hungGap = gap
+				_ = cmd.Process.Kill()
+				exitErr = <-waitErr
+				break monitor
+			}
+		case <-ctx.Done():
+			if !drained {
+				// Drain: ask the worker to stop gracefully — it writes the
+				// trials it finished — and only SIGKILL after the grace.
+				drained = true
+				_ = cmd.Process.Signal(syscall.SIGTERM)
+				t := time.NewTimer(cfg.DrainGrace)
+				defer t.Stop()
+				drainKill = t.C
+			}
+		case <-drainKill:
+			_ = cmd.Process.Kill()
+			exitErr = <-waitErr
+			break monitor
+		}
+	}
+	<-scanDone
+
+	if hung {
+		if lastBeat.Load() == 0 {
+			return fail("hung", "no heartbeat %v after start (grace %v); killed", hungGap, cfg.StartupGrace)
+		}
+		return fail("hung", "heartbeats stopped for %v (timeout %v); killed", hungGap, cfg.HeartbeatTimeout)
+	}
+	if exitErr != nil && !drained {
+		return fail("dead", "%v (stderr: %s)", exitErr, tail(stderr.String(), 200))
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		if drained {
+			// Killed before it could write anything: nothing delivered, but
+			// the run is ending anyway.
+			return fail("incomplete", "drained before writing output")
+		}
+		return fail("garbled", "worker exited 0 without output: %v", err)
+	}
+	part, err := nvct.ParseShardReport(data)
+	if err != nil {
+		return fail("garbled", "%v", err)
+	}
+	if part.Shard.Index != shard || part.Shard.Count != cfg.Shards ||
+		part.Kernel != cfg.Spec.Kernel || part.Requested != cfg.Spec.Opts.Tests {
+		return fail("garbled", "shard file identifies as %d/%d kernel %s (%d trials)",
+			part.Shard.Index, part.Shard.Count, part.Kernel, part.Requested)
+	}
+	expected := len(nvct.Shard{Index: shard, Count: cfg.Shards}.Indices(cfg.Spec.Opts.Tests))
+	if len(part.Trials) != expected && !drained {
+		// A worker that exits cleanly but delivered fewer trials than its
+		// shard owns was corrupted somewhere; retry it.
+		return fail("incomplete", "delivered %d of %d trials without being drained", len(part.Trials), expected)
+	}
+	return part, nil
+}
+
+// tail returns at most the last n bytes of s, for compact failure details.
+func tail(s string, n int) string {
+	s = strings.TrimSpace(s)
+	if len(s) <= n {
+		return s
+	}
+	return "..." + s[len(s)-n:]
+}

@@ -1,0 +1,229 @@
+// Worker mode: one shard attempt in one subprocess.
+//
+// The supervisor re-execs the running binary with a worker flag set naming
+// the spec file, the shard coordinates, the attempt number and the output
+// path. The worker emits heartbeat lines on stdout while it runs, writes its
+// shard report atomically (temp file + rename, so a kill mid-write can never
+// leave a plausible-looking half file), and exits 0. SIGTERM drains: the
+// shard's campaign context is cancelled, the trials completed so far are
+// still written, and the supervisor accepts the partial shard.
+//
+// The chaos flag is the test-only failure injector that keeps the
+// supervision code honest: a worker told to crash, hang or garble on a given
+// (shard, attempt) does exactly that, so tests and CI exercise the real
+// kill/retry/backoff machinery instead of trusting it.
+package campaignd
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"easycrash/internal/cli"
+	"easycrash/internal/nvct"
+)
+
+// Heartbeat protocol: workers print "hb <done>/<total>" lines on stdout.
+const heartbeatPrefix = "hb "
+
+// chaosKey addresses one worker attempt: chaos actions are scoped to a
+// specific (shard, attempt) pair so a chaotic first attempt can be retried
+// into a clean second one.
+type chaosKey struct {
+	shard   int
+	attempt int
+}
+
+// Chaos maps worker attempts to misbehaviours. The flag syntax is a
+// comma-separated list of mode@shard.attempt entries, e.g.
+// "crash@0.1,hang@1.1,garble@2.1" — crash shard 0's first attempt, hang
+// shard 1's first attempt, corrupt shard 2's first output. Attempts count
+// from 1. Modes: crash (exit nonzero before writing output), hang (emit no
+// heartbeats and never finish), garble (write a corrupt shard file and exit
+// cleanly).
+type Chaos map[chaosKey]string
+
+// ParseChaos parses the chaos flag syntax. An empty string is no chaos.
+func ParseChaos(s string) (Chaos, error) {
+	if s == "" {
+		return nil, nil
+	}
+	c := make(Chaos)
+	for _, entry := range strings.Split(s, ",") {
+		mode, at, ok := strings.Cut(strings.TrimSpace(entry), "@")
+		if !ok {
+			return nil, fmt.Errorf("campaignd: chaos entry %q, want mode@shard.attempt", entry)
+		}
+		switch mode {
+		case "crash", "hang", "garble":
+		default:
+			return nil, fmt.Errorf("campaignd: chaos mode %q, want crash, hang or garble", mode)
+		}
+		shardStr, attemptStr, ok := strings.Cut(at, ".")
+		if !ok {
+			return nil, fmt.Errorf("campaignd: chaos target %q, want shard.attempt", at)
+		}
+		shard, err := strconv.Atoi(shardStr)
+		if err != nil || shard < 0 {
+			return nil, fmt.Errorf("campaignd: chaos shard %q", shardStr)
+		}
+		attempt, err := strconv.Atoi(attemptStr)
+		if err != nil || attempt < 1 {
+			return nil, fmt.Errorf("campaignd: chaos attempt %q (attempts count from 1)", attemptStr)
+		}
+		c[chaosKey{shard, attempt}] = mode
+	}
+	return c, nil
+}
+
+// Mode returns the misbehaviour for one worker attempt ("" = behave).
+func (c Chaos) Mode(shard, attempt int) string {
+	return c[chaosKey{shard, attempt}]
+}
+
+// WorkerMain is the worker-mode entry point, shared by cmd/campaignrunner's
+// worker subcommand and the test binaries' re-exec harness. It parses the
+// worker flags from args, runs one shard attempt, and returns the process
+// exit code.
+func WorkerMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("campaignd-worker", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		specPath = fs.String("spec", "", "campaign spec file")
+		shard    = fs.Int("shard", 0, "shard index")
+		shards   = fs.Int("shards", 1, "shard count")
+		attempt  = fs.Int("attempt", 1, "attempt number (1-based)")
+		outPath  = fs.String("out", "", "shard report output path")
+		hb       = fs.Duration("hb", 200*time.Millisecond, "heartbeat interval")
+		chaosArg = fs.String("chaos", "", "test-only failure injection (mode@shard.attempt,...)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "campaignd worker: %v\n", err)
+		return 1
+	}
+	if *specPath == "" || *outPath == "" {
+		return fail(fmt.Errorf("-spec and -out are required"))
+	}
+	spec, err := LoadSpec(*specPath)
+	if err != nil {
+		return fail(err)
+	}
+	sh := nvct.Shard{Index: *shard, Count: *shards}
+	if err := sh.Validate(); err != nil {
+		return fail(err)
+	}
+	chaos, err := ParseChaos(*chaosArg)
+	if err != nil {
+		return fail(err)
+	}
+
+	switch chaos.Mode(*shard, *attempt) {
+	case "crash":
+		// Die the way an OOM-killed or panicking worker dies: one heartbeat
+		// proves liveness detection alone is not enough, then a hard exit
+		// with nothing written.
+		fmt.Fprintf(stdout, "%s0/%d\n", heartbeatPrefix, len(sh.Indices(spec.Opts.Tests)))
+		return 2
+	case "hang":
+		// Hang mid-shard: one heartbeat proves the worker started and was
+		// live, then it goes silent without exiting — the supervisor's
+		// heartbeat timeout (not startup grace, not an exit status) is the
+		// only thing that can reclaim it. The sleep bounds the damage if
+		// supervision is broken (a failed test, not a stuck one).
+		fmt.Fprintf(stdout, "%s0/%d\n", heartbeatPrefix, len(sh.Indices(spec.Opts.Tests)))
+		time.Sleep(10 * time.Minute)
+		return 3
+	case "garble":
+		// Exit "successfully" with corrupt output: supervision must validate
+		// results, not trust exit codes.
+		fmt.Fprintf(stdout, "%s0/%d\n", heartbeatPrefix, len(sh.Indices(spec.Opts.Tests)))
+		if err := os.WriteFile(*outPath, []byte("{\"kernel\":\"truncated..."), 0o644); err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+
+	ctx, stop := cli.SignalContext()
+	defer stop()
+
+	// Heartbeats must start before the tester is built: the golden reference
+	// run inside NewTester is the longest silent stretch of a worker's life,
+	// and a supervisor that hears nothing during it would kill a healthy
+	// worker as hung.
+	total := len(sh.Indices(spec.Opts.Tests))
+	var done atomic.Int64
+	beat := func() { fmt.Fprintf(stdout, "%s%d/%d\n", heartbeatPrefix, done.Load(), total) }
+	beat()
+	ticker := time.NewTicker(*hb)
+	stopBeats := make(chan struct{})
+	beatsDone := make(chan struct{})
+	go func() {
+		defer close(beatsDone)
+		for {
+			select {
+			case <-ticker.C:
+				beat()
+			case <-stopBeats:
+				return
+			}
+		}
+	}()
+	endBeats := func() {
+		ticker.Stop()
+		close(stopBeats)
+		<-beatsDone
+	}
+
+	tester, err := spec.NewTester()
+	if err != nil {
+		endBeats()
+		return fail(err)
+	}
+	part, runErr := tester.RunShardContext(ctx, spec.Policy, spec.Opts, sh, func(int) { done.Add(1) })
+	endBeats()
+
+	if part != nil {
+		if err := writeFileAtomic(*outPath, mustShardJSON(part, stderr)); err != nil {
+			return fail(err)
+		}
+		beat()
+	}
+	if runErr != nil {
+		// Drained by SIGTERM (or the supervisor's kill racing the finish):
+		// the partial shard file above is the result; the exit code says
+		// "incomplete on purpose".
+		fmt.Fprintf(stderr, "campaignd worker: shard %d/%d drained: %v\n", *shard, *shards, runErr)
+		return 0
+	}
+	return 0
+}
+
+func mustShardJSON(part *nvct.ShardReport, stderr io.Writer) []byte {
+	b, err := part.JSON()
+	if err != nil {
+		// Serialization of an in-memory report cannot fail in practice;
+		// refuse to write anything rather than write junk.
+		fmt.Fprintf(stderr, "campaignd worker: serializing shard: %v\n", err)
+		os.Exit(1)
+	}
+	return b
+}
+
+// writeFileAtomic writes via a temp file and rename, so a worker killed
+// mid-write leaves either no output or complete output — never a torn file
+// that happens to parse.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

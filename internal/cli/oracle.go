@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"easycrash/internal/faultmodel"
 	"easycrash/internal/nvct"
@@ -58,6 +59,13 @@ func (f *OracleFlags) WriteReport(rep *nvct.Report) error {
 	b, err := rep.JSON()
 	if err != nil {
 		return err
+	}
+	// The report is evidence: create the artifact directory it targets rather
+	// than losing a partial campaign to a missing-directory error at exit.
+	if dir := filepath.Dir(f.JSONPath); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
 	}
 	return os.WriteFile(f.JSONPath, b, 0o644)
 }

@@ -1,0 +1,18 @@
+package cli
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// SignalContext returns a context cancelled on SIGINT or SIGTERM — the
+// graceful-cancel contract every campaign binary shares: in-flight work
+// aborts promptly, partial results are still reported, and a second signal
+// kills the process the default way once the caller invokes stop (or
+// immediately, if the caller deferred it and is already unwinding). Callers
+// must call stop to restore default signal behaviour.
+func SignalContext() (ctx context.Context, stop context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}

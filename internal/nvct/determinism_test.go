@@ -172,6 +172,22 @@ func TestSeedReplayNestedFaults(t *testing.T) {
 	checkGolden(t, serial, goldenNestedFaultsDigest, "nested+faults")
 }
 
+// TestSeedReplaySharded: a campaign split into shards and merged back must
+// reproduce the exact pinned digests of the single-process engine — the
+// invariant the multi-process campaign runner (internal/campaignd) rests on.
+// Pinned for both the classic baseline and the deepest composed path
+// (nested chains + media faults + scrub).
+func TestSeedReplaySharded(t *testing.T) {
+	merged := runSharded(t, "lu", nil, nvct.CampaignOpts{Tests: 30, Seed: 41, Parallel: 1}, 4)
+	checkGolden(t, reportDigest(merged), goldenBaselineDigest, "sharded baseline")
+
+	faults := faultmodel.Config{RBER: 2e-6, TornWrites: true, ECC: faultmodel.SECDED()}
+	policy := nvct.IterationPolicy([]string{"u", "scal"})
+	opts := nvct.CampaignOpts{Tests: 30, Seed: 47, Parallel: 1, RecrashDepth: 2, Faults: faults, ScrubOnRestart: true}
+	merged = runSharded(t, "lu", policy, opts, 4)
+	checkGolden(t, reportDigest(merged), goldenNestedFaultsDigest, "sharded nested+faults")
+}
+
 // TestSeedReplayVerifiedFaults: the Verified variant drains the whole dirty
 // hierarchy through WriteBackAll right before the faulted crash, so the
 // media-write order of the drain is exposed to the fault injector's write

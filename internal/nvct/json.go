@@ -9,7 +9,9 @@
 package nvct
 
 import (
+	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 
 	"easycrash/internal/faultmodel"
@@ -93,33 +95,168 @@ func (r *Report) toJSON() reportJSON {
 		}
 	}
 	for i, t := range r.Tests {
-		tj := trialJSON{
-			Index:              i,
-			CrashAccess:        t.CrashAccess,
-			CrashRegion:        t.CrashRegion,
-			CrashIter:          t.CrashIter,
-			Outcome:            t.Outcome.String(),
-			ExtraIters:         t.ExtraIters,
-			Inconsistency:      t.Inconsistency,
-			FinalResult:        t.FinalResult,
-			Media:              injectionJSON(t.Media),
-			ScrubbedObjects:    t.ScrubbedObjects,
-			Err:                t.Err,
-			Violations:         t.Violations,
-			Depth:              t.Depth,
-			Retries:            t.Retries,
-			FinalInconsistency: nil,
-		}
-		if t.Depth > 0 {
-			tj.FinalInconsistency = t.FinalInconsistency
-			tj.Chain = make([]chainJSON, len(t.Chain))
-			for l, c := range t.Chain {
-				tj.Chain[l] = chainJSON{Access: c.Access, Region: c.Region, Iter: c.Iter, Media: injectionJSON(c.Media)}
-			}
-		}
-		out.Trials[i] = tj
+		out.Trials[i] = toTrialJSON(i, t)
 	}
 	return out
+}
+
+// toTrialJSON serializes one TestResult. index is the trial's position in the
+// serialized container: the slice position for whole reports, the global
+// campaign index for shard parts.
+func toTrialJSON(index int, t TestResult) trialJSON {
+	tj := trialJSON{
+		Index:           index,
+		CrashAccess:     t.CrashAccess,
+		CrashRegion:     t.CrashRegion,
+		CrashIter:       t.CrashIter,
+		Outcome:         t.Outcome.String(),
+		ExtraIters:      t.ExtraIters,
+		Inconsistency:   t.Inconsistency,
+		FinalResult:     t.FinalResult,
+		Media:           injectionJSON(t.Media),
+		ScrubbedObjects: t.ScrubbedObjects,
+		Err:             t.Err,
+		Violations:      t.Violations,
+		Depth:           t.Depth,
+		Retries:         t.Retries,
+	}
+	if t.Depth > 0 {
+		tj.FinalInconsistency = t.FinalInconsistency
+		tj.Chain = make([]chainJSON, len(t.Chain))
+		for l, c := range t.Chain {
+			tj.Chain[l] = chainJSON{Access: c.Access, Region: c.Region, Iter: c.Iter, Media: injectionJSON(c.Media)}
+		}
+	}
+	return tj
+}
+
+// fromTrialJSON deserializes one trial. The roundtrip through trialJSON is
+// lossless for every field the report digest folds: encoding/json round-trips
+// float64 exactly, and the omitted-when-empty fields decode to their Go zero
+// values (a nil map where a live trial carried an empty one is invisible to
+// both the digest and the stable serialization).
+func fromTrialJSON(tj trialJSON) (TestResult, error) {
+	out, err := parseOutcome(tj.Outcome)
+	if err != nil {
+		return TestResult{}, err
+	}
+	t := TestResult{
+		CrashAccess:     tj.CrashAccess,
+		CrashRegion:     tj.CrashRegion,
+		CrashIter:       tj.CrashIter,
+		Outcome:         out,
+		ExtraIters:      tj.ExtraIters,
+		Inconsistency:   tj.Inconsistency,
+		FinalResult:     tj.FinalResult,
+		ScrubbedObjects: tj.ScrubbedObjects,
+		Err:             tj.Err,
+		Violations:      tj.Violations,
+		Depth:           tj.Depth,
+		Retries:         tj.Retries,
+	}
+	if tj.Media != nil {
+		t.Media = *tj.Media
+	}
+	if tj.Depth > 0 {
+		t.FinalInconsistency = tj.FinalInconsistency
+		t.Chain = make([]ChainCrash, len(tj.Chain))
+		for l, c := range tj.Chain {
+			t.Chain[l] = ChainCrash{Access: c.Access, Region: c.Region, Iter: c.Iter}
+			if c.Media != nil {
+				t.Chain[l].Media = *c.Media
+			}
+		}
+	}
+	return t, nil
+}
+
+// parseOutcome inverts Outcome.String.
+func parseOutcome(s string) (Outcome, error) {
+	for o := 0; o < NumOutcomes; o++ {
+		if Outcome(o).String() == s {
+			return Outcome(o), nil
+		}
+	}
+	return 0, fmt.Errorf("nvct: unknown outcome %q", s)
+}
+
+// shardJSON is the wire format of one shard run — the file a campaignd worker
+// hands back to its supervisor. Trial indices are global campaign indices.
+type shardJSON struct {
+	Kernel    string      `json:"kernel"`
+	Regions   int         `json:"regions"`
+	Requested int         `json:"requested"`
+	Shard     int         `json:"shard"`
+	Shards    int         `json:"shards"`
+	Trials    []trialJSON `json:"trials"`
+}
+
+// JSON serializes the shard report to byte-stable JSON (same discipline as
+// Report.JSON).
+func (sr *ShardReport) JSON() ([]byte, error) {
+	out := shardJSON{
+		Kernel:    sr.Kernel,
+		Regions:   sr.Regions,
+		Requested: sr.Requested,
+		Shard:     sr.Shard.Index,
+		Shards:    sr.Shard.Count,
+		Trials:    make([]trialJSON, len(sr.Trials)),
+	}
+	for i, tr := range sr.Trials {
+		out.Trials[i] = toTrialJSON(tr.Index, tr.Res)
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// ParseShardReport deserializes and validates a worker's shard file. It is
+// deliberately strict — unknown fields, unparsable outcomes, out-of-range or
+// misassigned trial indices and unordered trials are all errors — because the
+// supervisor uses parse failure as its garbled-worker detector: a worker that
+// was killed mid-write or corrupted its output must be retried, never merged.
+func ParseShardReport(data []byte) (*ShardReport, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var in shardJSON
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("nvct: malformed shard report: %w", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, fmt.Errorf("nvct: trailing data after shard report")
+	}
+	sh := Shard{Index: in.Shard, Count: in.Shards}
+	if err := sh.Validate(); err != nil {
+		return nil, err
+	}
+	if in.Kernel == "" {
+		return nil, fmt.Errorf("nvct: shard report without kernel")
+	}
+	if in.Requested <= 0 {
+		return nil, fmt.Errorf("nvct: shard report with campaign size %d", in.Requested)
+	}
+	sr := &ShardReport{Kernel: in.Kernel, Regions: in.Regions, Requested: in.Requested, Shard: sh}
+	prev := -1
+	for _, tj := range in.Trials {
+		if tj.Index < 0 || tj.Index >= in.Requested {
+			return nil, fmt.Errorf("nvct: shard trial index %d outside campaign of %d tests", tj.Index, in.Requested)
+		}
+		if tj.Index%sh.Count != sh.Index {
+			return nil, fmt.Errorf("nvct: trial %d does not belong to shard %d/%d", tj.Index, sh.Index, sh.Count)
+		}
+		if tj.Index <= prev {
+			return nil, fmt.Errorf("nvct: shard trials out of order at index %d", tj.Index)
+		}
+		prev = tj.Index
+		res, err := fromTrialJSON(tj)
+		if err != nil {
+			return nil, err
+		}
+		sr.Trials = append(sr.Trials, ShardTrial{Index: tj.Index, Res: res})
+	}
+	return sr, nil
 }
 
 // JSON serializes the report to indented, byte-stable JSON: the same campaign

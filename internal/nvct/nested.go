@@ -28,13 +28,14 @@ import (
 // parallelism. space is the campaign's crash-point space; a deeper point
 // drawn beyond the recovery run's accesses simply never fires, ending the
 // chain naturally.
-func (t *Tester) runTrial(ctx context.Context, policy *Policy, crashAt uint64, faultSeed, trialSeed int64, space uint64, opts CampaignOpts, deadline time.Time, deadlineErr error) TestResult {
+func (t *Tester) runTrial(ctx context.Context, policy *Policy, crashAt uint64, faultSeed, trialSeed int64, space uint64, opts CampaignOpts, deadline time.Time, deadlineErr error, dumpCapture *[]byte) TestResult {
 	ps, completed := t.runPhase1(ctx, policy, crashAt, faultSeed, opts, deadline, deadlineErr)
 	if completed != nil {
 		// The drawn point exceeded the initial run's accesses: no crash, no
 		// chain. Depth stays 0 on the classic S1 record.
 		return *completed
 	}
+	captureDump(dumpCapture, ps.dump)
 	return t.runChain(ctx, ps, trialSeed, space, opts, deadline, deadlineErr)
 }
 

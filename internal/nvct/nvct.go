@@ -677,16 +677,6 @@ func (t *Tester) RunCampaignContext(ctx context.Context, policy *Policy, opts Ca
 	if err != nil {
 		return nil, err
 	}
-	space, points := plan.space, plan.points
-	seedAt, trialSeedAt := plan.seedAt, plan.trialSeedAt
-	workers := opts.Parallel
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > opts.Tests {
-		workers = opts.Tests
-	}
-
 	rep := &Report{
 		Kernel:    t.name,
 		Policy:    policy,
@@ -695,11 +685,46 @@ func (t *Tester) RunCampaignContext(ctx context.Context, policy *Policy, opts Ca
 		Requested: opts.Tests,
 	}
 	done := make([]bool, opts.Tests)
+	t.runPlanned(ctx, policy, plan.points, plan.seedAt, plan.trialSeedAt, plan.space, opts, rep, done, nil)
+
+	// Compact to the completed tests (a no-op unless cancelled early).
+	kept := rep.Tests[:0]
+	for i := range rep.Tests {
+		if done[i] {
+			kept = append(kept, rep.Tests[i])
+		}
+	}
+	rep.Tests = kept
+	for _, res := range rep.Tests {
+		rep.Counts[res.Outcome]++
+	}
+	return rep, ctx.Err()
+}
+
+// runPlanned executes the planned trials described by points/seedAt/
+// trialSeedAt (index-aligned slices of one campaign plan, or a remapped
+// subset of one — see RunShardContext), filling rep.Tests[i] and done[i] in
+// place. It owns engine selection: the snapshot-tree fast path when eligible,
+// the live engine otherwise (and as per-trial fallback after a reference-run
+// failure). onDone, when non-nil, is invoked with the local trial index after
+// each trial's record lands; it is called from worker goroutines, so the
+// callback must be safe for concurrent use.
+func (t *Tester) runPlanned(ctx context.Context, policy *Policy, points []uint64, seedAt, trialSeedAt func(int) int64, space uint64, opts CampaignOpts, rep *Report, done []bool, onDone func(int)) {
+	workers := opts.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
 	runIdx := func(i int) {
-		res, keep := t.runOneIsolated(ctx, policy, points[i], seedAt(i), trialSeedAt(i), space, opts)
+		res, keep := t.runOneIsolated(ctx, policy, points[i], seedAt(i), trialSeedAt(i), space, opts, nil)
 		if keep {
 			rep.Tests[i] = res
 			done[i] = true
+			if onDone != nil {
+				onDone(i)
+			}
 		}
 	}
 	// runLive runs every not-yet-done trial on the live engine. Skipping
@@ -753,7 +778,7 @@ func (t *Tester) RunCampaignContext(ctx context.Context, policy *Policy, opts Ca
 	// only when the per-test/per-trial watchdogs are set — they bound each
 	// test's own execution, which a shared reference run has no analogue for.
 	if !opts.NoPrefixShare && opts.TestTimeout == 0 && opts.TrialDeadline == 0 {
-		if !t.runTreeShared(ctx, policy, points, seedAt, trialSeedAt, space, opts, workers, rep, done) {
+		if !t.runTreeShared(ctx, policy, points, seedAt, trialSeedAt, space, opts, workers, rep, done, onDone) {
 			// The reference run failed outside the simulated-crash protocol
 			// (a panicking kernel, an engine bug). Trials that already
 			// branched off the shared prefix are complete and correct — their
@@ -765,19 +790,6 @@ func (t *Tester) RunCampaignContext(ctx context.Context, policy *Policy, opts Ca
 	} else {
 		runLive()
 	}
-
-	// Compact to the completed tests (a no-op unless cancelled early).
-	kept := rep.Tests[:0]
-	for i := range rep.Tests {
-		if done[i] {
-			kept = append(kept, rep.Tests[i])
-		}
-	}
-	rep.Tests = kept
-	for _, res := range rep.Tests {
-		rep.Counts[res.Outcome]++
-	}
-	return rep, ctx.Err()
 }
 
 // campaignPlan is the serially drawn, seed-derived state of one campaign:
@@ -884,7 +896,7 @@ func (t *Tester) ReproTrial(ctx context.Context, policy *Policy, opts CampaignOp
 	if index < 0 || index >= opts.Tests {
 		return TestResult{}, fmt.Errorf("nvct: trial index %d outside campaign of %d tests", index, opts.Tests)
 	}
-	res, keep := t.runOneIsolated(ctx, policy, plan.points[index], plan.seedAt(index), plan.trialSeedAt(index), plan.space, opts)
+	res, keep := t.runOneIsolated(ctx, policy, plan.points[index], plan.seedAt(index), plan.trialSeedAt(index), plan.space, opts, nil)
 	if !keep {
 		if err := ctx.Err(); err != nil {
 			return TestResult{}, err
@@ -894,13 +906,38 @@ func (t *Tester) ReproTrial(ctx context.Context, policy *Policy, opts CampaignOp
 	return res, nil
 }
 
+// ReproTrialDump is ReproTrial plus evidence: alongside the trial's record it
+// returns a copy of the post-crash durable dump the first recovery attempt
+// read — the NVM image as the failing media left it, which an artifact bundle
+// archives next to the repro command. The dump is nil when the trial's drawn
+// crash point exceeded the run's accesses (no crash ever fired).
+func (t *Tester) ReproTrialDump(ctx context.Context, policy *Policy, opts CampaignOpts, index int) (TestResult, []byte, error) {
+	plan, err := t.planCampaign(policy, &opts)
+	if err != nil {
+		return TestResult{}, nil, err
+	}
+	if index < 0 || index >= opts.Tests {
+		return TestResult{}, nil, fmt.Errorf("nvct: trial index %d outside campaign of %d tests", index, opts.Tests)
+	}
+	var dump []byte
+	res, keep := t.runOneIsolated(ctx, policy, plan.points[index], plan.seedAt(index), plan.trialSeedAt(index), plan.space, opts, &dump)
+	if !keep {
+		if err := ctx.Err(); err != nil {
+			return TestResult{}, nil, err
+		}
+		return TestResult{}, nil, errors.New("nvct: trial discarded without cancellation")
+	}
+	return res, dump, nil
+}
+
 // runOneIsolated runs one crash test (a whole crash chain in nested mode),
 // containing any panic that escapes the simulated crash protocol: a
 // panicking kernel factory or a test that blows its deadline becomes one
 // SErr result instead of killing the worker pool. keep is false only when
 // the campaign context itself was cancelled — the half-finished test is then
-// discarded from the partial report.
-func (t *Tester) runOneIsolated(ctx context.Context, policy *Policy, crashAt uint64, faultSeed, trialSeed int64, space uint64, opts CampaignOpts) (res TestResult, keep bool) {
+// discarded from the partial report. dumpCapture, when non-nil, receives a
+// copy of the first crash's durable dump (ReproTrialDump's evidence).
+func (t *Tester) runOneIsolated(ctx context.Context, policy *Policy, crashAt uint64, faultSeed, trialSeed int64, space uint64, opts CampaignOpts, dumpCapture *[]byte) (res TestResult, keep bool) {
 	var deadline time.Time
 	deadlineErr := errTestTimeout
 	if opts.TestTimeout > 0 {
@@ -933,9 +970,17 @@ func (t *Tester) runOneIsolated(ctx context.Context, policy *Policy, crashAt uin
 		keep = true
 	}()
 	if opts.RecrashDepth > 0 {
-		return t.runTrial(ctx, policy, crashAt, faultSeed, trialSeed, space, opts, deadline, deadlineErr), true
+		return t.runTrial(ctx, policy, crashAt, faultSeed, trialSeed, space, opts, deadline, deadlineErr, dumpCapture), true
 	}
-	return t.runOne(ctx, policy, crashAt, faultSeed, opts, deadline, deadlineErr), true
+	return t.runOne(ctx, policy, crashAt, faultSeed, opts, deadline, deadlineErr, dumpCapture), true
+}
+
+// captureDump copies a phase-1 dump into a ReproTrialDump caller's evidence
+// buffer; a no-op in campaign runs (capture == nil).
+func captureDump(capture *[]byte, dump []byte) {
+	if capture != nil {
+		*capture = append([]byte(nil), dump...)
+	}
 }
 
 // setInterrupt wires campaign cancellation and the per-test (or per-trial)
@@ -1068,11 +1113,12 @@ func poisonSet(media faultmodel.Injection, m *sim.Machine) map[uint64]struct{} {
 
 // runOne executes a single crash-and-restart test (the classic single-crash
 // model; nested chains run through runTrial).
-func (t *Tester) runOne(ctx context.Context, policy *Policy, crashAt uint64, faultSeed int64, opts CampaignOpts, deadline time.Time, deadlineErr error) TestResult {
+func (t *Tester) runOne(ctx context.Context, policy *Policy, crashAt uint64, faultSeed int64, opts CampaignOpts, deadline time.Time, deadlineErr error, dumpCapture *[]byte) TestResult {
 	ps, completed := t.runPhase1(ctx, policy, crashAt, faultSeed, opts, deadline, deadlineErr)
 	if completed != nil {
 		return *completed
 	}
+	captureDump(dumpCapture, ps.dump)
 	return t.finishOne(ctx, ps, opts, deadline, deadlineErr)
 }
 

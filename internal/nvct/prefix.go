@@ -103,6 +103,10 @@ type treeEngine struct {
 	workers     int
 	rep         *Report
 	done        []bool
+	// onDone, when non-nil, is invoked with a trial's index right after that
+	// trial's result lands in rep.Tests/done. Calls may come from any worker
+	// goroutine; the callback synchronises itself.
+	onDone func(int)
 	// iterObj is the kernel's bookmark object, captured from the reference
 	// kernel after Setup; object geometry is deterministic across instances.
 	iterObj mem.Object
@@ -115,10 +119,11 @@ type treeEngine struct {
 // and recorded (their forks precede the failure), and the caller re-runs only
 // the undone remainder on the live engine. Cancellation (ctx) is not a
 // failure: the partial results stand, exactly as on the live engine.
-func (t *Tester) runTreeShared(ctx context.Context, policy *Policy, points []uint64, seedAt, trialSeedAt func(int) int64, space uint64, opts CampaignOpts, workers int, rep *Report, done []bool) bool {
+func (t *Tester) runTreeShared(ctx context.Context, policy *Policy, points []uint64, seedAt, trialSeedAt func(int) int64, space uint64, opts CampaignOpts, workers int, rep *Report, done []bool, onDone func(int)) bool {
 	e := &treeEngine{
 		t: t, ctx: ctx, points: points, seedAt: seedAt, trialSeedAt: trialSeedAt,
 		space: space, opts: opts, workers: workers, rep: rep, done: done,
+		onDone: onDone,
 	}
 
 	// Visit crash points in ascending order so one forward pass of the
@@ -218,6 +223,9 @@ func (t *Tester) runTreeShared(ctx context.Context, policy *Policy, points []uin
 			i := order[pos]
 			rep.Tests[i] = TestResult{CrashAccess: points[i], CrashRegion: sim.NoRegion, Outcome: S1}
 			done[i] = true
+			if onDone != nil {
+				onDone(i)
+			}
 		}
 	}
 
@@ -304,6 +312,9 @@ func (e *treeEngine) branchPrefixIsolated(j forkJob) (mb *treeMember) {
 func (e *treeEngine) record(mb *treeMember) {
 	e.rep.Tests[mb.idx] = mb.res
 	e.done[mb.idx] = true
+	if e.onDone != nil {
+		e.onDone(mb.idx)
+	}
 }
 
 // runRounds drives the recovery levels of the tree: each round every live
