@@ -699,6 +699,26 @@ func BenchmarkCacheStream(b *testing.B) {
 	}
 }
 
+// BenchmarkCacheStreamBatched is BenchmarkCacheStream's sequential sweep on
+// the run API: the same 8-byte elements reach the same blocks in the same
+// order, but StoreRun pays one hierarchy walk per 64 B block segment and
+// bulk-accounts the other seven elements. ns/op is per element (the loop
+// advances b.N by the chunk size), directly comparable to the scalar
+// per-element benches.
+func BenchmarkCacheStreamBatched(b *testing.B) {
+	im := mem.NewImage(1 << 22)
+	h := cachesim.New(cachesim.TestConfig(), im)
+	buf := make([]byte, 4096)
+	const elems = 4096 / 8
+	var addr uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += elems {
+		h.StoreRun(0, addr, buf)
+		addr = (addr + 4096) % (1 << 22)
+	}
+}
+
 // BenchmarkCacheCrashRefill is the per-crash-test pattern: dirty a working
 // set, crash (DropAll), repeat. DropAll must recycle the block store, not
 // reallocate it.
@@ -816,6 +836,37 @@ func BenchmarkCampaignPrefixShared(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkCampaignBatched measures what the batched access engine is for:
+// the same 200-trial lu campaign on the default engine (kernels ride
+// streams and runs through the batched fast paths) versus the ScalarAccess
+// reference tester that forces every element down the per-access hierarchy
+// walk. The two produce byte-identical campaign reports (see
+// TestScalarAccessCampaignDigestsMatch); only the clock differs.
+func BenchmarkCampaignBatched(b *testing.B) {
+	t := lab.tester(b, "lu")
+	f, err := apps.New("lu", apps.ProfileTest)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scalar, err := nvct.NewTester(f, nvct.Config{ScalarAccess: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := nvct.CampaignOpts{Tests: 200, Seed: 1}
+	b.Run("batched", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			t.RunCampaign(nil, opts)
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			scalar.RunCampaign(nil, opts)
+		}
+	})
 }
 
 // BenchmarkCampaignTreeShared measures the snapshot-tree engine on the

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// baselineFile mirrors the committed BENCH_*.json schema: a benchmarks map
+// from name to measurements. Only ns_per_op participates in the comparison;
+// the other fields document the baseline.
+type baselineFile struct {
+	Description string                   `json:"description"`
+	Benchmarks  map[string]baselineEntry `json:"benchmarks"`
+}
+
+type baselineEntry struct {
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// parseBenchOutput extracts (name, ns/op) pairs from `go test -bench` text.
+// Benchmark names keep their sub-benchmark path but drop the trailing
+// -GOMAXPROCS suffix, matching the keys the baseline files use.
+func parseBenchOutput(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] != "ns/op" {
+				continue
+			}
+			ns, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %q: %w", sc.Text(), err)
+			}
+			out[name] = ns
+		}
+	}
+	return out, sc.Err()
+}
+
+// compareBenches diffs a fresh bench run against a committed baseline and
+// returns the number of benchmarks whose ns/op regressed past the tolerance
+// (0.20 = fail when more than 20% slower). Benchmarks present on only one
+// side are reported but never fail the comparison — the baseline documents
+// more benches than a smoke run measures, and new benches have no baseline
+// yet.
+func compareBenches(w io.Writer, fresh map[string]float64, base baselineFile, tolerance float64) int {
+	names := make([]string, 0, len(fresh))
+	for name := range fresh {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	regressions := 0
+	for _, name := range names {
+		b, ok := base.Benchmarks[name]
+		if !ok || b.NsPerOp == 0 {
+			fmt.Fprintf(w, "%-45s %12.1f ns/op  (no baseline)\n", name, fresh[name])
+			continue
+		}
+		ratio := fresh[name] / b.NsPerOp
+		verdict := "ok"
+		if ratio > 1+tolerance {
+			verdict = "REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-45s %12.1f ns/op  baseline %12.1f  %+6.1f%%  %s\n",
+			name, fresh[name], b.NsPerOp, (ratio-1)*100, verdict)
+	}
+	return regressions
+}
+
+// runCompare implements the -compare mode: parse the bench output file ("-"
+// for stdin), load the baseline JSON, and exit nonzero on any regression
+// beyond the tolerance.
+func runCompare(benchPath, baselinePath string, tolerance float64) error {
+	var in io.Reader = os.Stdin
+	if benchPath != "-" {
+		f, err := os.Open(benchPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	fresh, err := parseBenchOutput(in)
+	if err != nil {
+		return err
+	}
+	if len(fresh) == 0 {
+		return fmt.Errorf("no benchmark results found in %s", benchPath)
+	}
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	if n := compareBenches(os.Stdout, fresh, base, tolerance); n > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% vs %s", n, tolerance*100, baselinePath)
+	}
+	return nil
+}

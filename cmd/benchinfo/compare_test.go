@@ -1,0 +1,62 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: easycrash
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCacheAccess-8   	 5669610	       211.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCacheStream-8   	 7552124	       160.6 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCampaignPrefixShared/lu/prefix-8         	       2	 432500000 ns/op
+BenchmarkBrandNew-8      	  100000	      1000 ns/op
+PASS
+ok  	easycrash	12.3s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	got, err := parseBenchOutput(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkCacheAccess":                    211.0,
+		"BenchmarkCacheStream":                    160.6,
+		"BenchmarkCampaignPrefixShared/lu/prefix": 432500000,
+		"BenchmarkBrandNew":                       1000,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benches, want %d: %v", len(got), len(want), got)
+	}
+	for name, ns := range want {
+		if got[name] != ns {
+			t.Errorf("%s = %v ns/op, want %v", name, got[name], ns)
+		}
+	}
+}
+
+func TestCompareBenchesVerdicts(t *testing.T) {
+	base := baselineFile{Benchmarks: map[string]baselineEntry{
+		"BenchmarkCacheAccess": {NsPerOp: 200},
+		"BenchmarkCacheStream": {NsPerOp: 100},
+	}}
+	fresh := map[string]float64{
+		"BenchmarkCacheAccess": 235, // +17.5%: inside a 20% tolerance
+		"BenchmarkCacheStream": 130, // +30%: regression
+		"BenchmarkBrandNew":    50,  // no baseline: reported, never fails
+	}
+	if n := compareBenches(io.Discard, fresh, base, 0.20); n != 1 {
+		t.Fatalf("got %d regressions, want 1", n)
+	}
+	if n := compareBenches(io.Discard, fresh, base, 0.50); n != 0 {
+		t.Fatalf("tolerance 50%%: got %d regressions, want 0", n)
+	}
+	// An improvement is never a regression.
+	if n := compareBenches(io.Discard, map[string]float64{"BenchmarkCacheAccess": 90}, base, 0.20); n != 0 {
+		t.Fatalf("improvement flagged as regression")
+	}
+}

@@ -12,7 +12,12 @@
 //	     [-timeout 30s] [-recrash-depth 2] [-retry-budget 3]
 //	     [-trial-deadline 2m] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	     [-repro 17] [-json report.json] [-fail-on-violations]
-//	     [-expect-violations]
+//	     [-expect-violations] [-scalar]
+//
+// -scalar forces the scalar per-access reference engine (every kernel
+// access walks the full hierarchy lookup); campaign results are identical
+// to the default batched engine, so the flag exists for profiling and
+// A/B timing, not for changing outcomes.
 //
 // With -recrash-depth K > 0 the campaign runs the nested-failure model:
 // up to K additional crashes strike each trial's recovery runs, and the
@@ -61,6 +66,7 @@ func main() {
 		parallel = flag.Int("parallel", 0, "concurrent crash tests (0: GOMAXPROCS, 1: serial)")
 		profile  = flag.String("profile", "test", "problem size: test | bench")
 		cache    = flag.String("cache", "test", "cache geometry: test | paper")
+		scalar   = flag.Bool("scalar", false, "force the scalar per-access reference engine (disable batched runs/streams)")
 	)
 	faultFlags := cli.RegisterFaultFlags(flag.CommandLine, true)
 	nestedFlags := cli.RegisterNestedFlags(flag.CommandLine)
@@ -107,7 +113,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := nvct.Config{Cache: geom}
+	cfg := nvct.Config{Cache: geom, ScalarAccess: *scalar}
 	tester, err := nvct.NewTester(factory, cfg)
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,127 @@
+// Package batchedaccess flags per-element simulated-memory traffic inside
+// kernel loops.
+//
+// The batched engine makes stride-regular element traffic nearly free:
+// sim.F64Stream / sim.I64Stream memoize block residency across consecutive
+// accesses, and F64Slice.LoadRun / StoreRun account whole block segments at
+// once. A kernel loop that calls the per-element slice accessors (At / Set)
+// or the raw Machine demand accessors instead walks the full hierarchy
+// lookup on every element — the exact path this engine exists to avoid — and
+// silently gives up an order of magnitude of campaign throughput.
+//
+// The check fires on At / Set calls on sim.F64Slice / sim.I64Slice and on
+// Machine.LoadF64 / StoreF64 / LoadI64 / StoreI64 calls that sit lexically
+// inside a for or range statement and whose index (or address) argument is
+// not a compile-time constant. Constant indices — the scal.Set(0, ...) /
+// itv.Set(0, it+1) bookkeeping idiom — are one-element accesses with nothing
+// to batch and stay silent. Genuinely irregular sites (indirect gathers,
+// hash- or data-addressed scatters, strides that wrap mod n) are legitimate
+// scalar traffic: annotate them with
+//
+//	//eclint:allow batchedaccess — <why the access is not stride-regular>
+//
+// The justification is mandatory; a stale or reasonless annotation is itself
+// a finding. The check is scoped to the benchmark kernels (internal/apps),
+// where the access loops are the simulation's inner loops; elsewhere
+// per-element traffic is not performance-load-bearing.
+package batchedaccess
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+
+	"easycrash/internal/analysis"
+)
+
+const simPath = "easycrash/internal/sim"
+
+// scope matches the import paths where per-element loops are hot.
+var scope = regexp.MustCompile(`^easycrash/internal/apps($|/)`)
+
+// sliceMethods are the per-element accessors of the typed views.
+var sliceMethods = map[string]map[string]bool{
+	"F64Slice": {"At": true, "Set": true},
+	"I64Slice": {"At": true, "Set": true},
+}
+
+// machineMethods are the raw per-element demand accessors.
+var machineMethods = map[string]bool{
+	"LoadF64": true, "StoreF64": true, "LoadI64": true, "StoreI64": true,
+}
+
+// Analyzer is the batchedaccess check.
+var Analyzer = &analysis.Analyzer{
+	Name:          "batchedaccess",
+	Doc:           "flags per-element slice At/Set and Machine demand accessors in kernel loops; stride-regular traffic should ride F64Stream/I64Stream or LoadRun/StoreRun",
+	RequireReason: true,
+	Run:           run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !scope.MatchString(analysis.EffectivePath(pass.Path)) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		loops := loopBodies(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 || !loops.contains(call.Pos()) {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.Info, call)
+			if fn == nil {
+				return true
+			}
+			pkg, typ, ok := analysis.RecvNamed(fn)
+			if !ok || pkg != simPath {
+				return true
+			}
+			perElement := sliceMethods[typ][fn.Name()] ||
+				(typ == "Machine" && machineMethods[fn.Name()])
+			if !perElement || constantExpr(pass, call.Args[0]) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"per-element %s.%s in a loop walks the full hierarchy lookup each access; stride-regular traffic should use F64Stream/I64Stream or LoadRun/StoreRun",
+				typ, fn.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// constantExpr reports whether e's value is known at compile time — a
+// one-element access with nothing to batch.
+func constantExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[ast.Unparen(e)]
+	return ok && tv.Value != nil
+}
+
+// bodySpans records the source intervals of every for/range body in a file.
+type bodySpans []span
+
+type span struct{ lo, hi token.Pos }
+
+func loopBodies(file *ast.File) bodySpans {
+	var out bodySpans
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			out = append(out, span{n.Body.Pos(), n.Body.End()})
+		case *ast.RangeStmt:
+			out = append(out, span{n.Body.Pos(), n.Body.End()})
+		}
+		return true
+	})
+	return out
+}
+
+func (b bodySpans) contains(pos token.Pos) bool {
+	for _, s := range b {
+		if pos >= s.lo && pos < s.hi {
+			return true
+		}
+	}
+	return false
+}

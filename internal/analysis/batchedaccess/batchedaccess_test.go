@@ -1,0 +1,23 @@
+package batchedaccess_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"easycrash/internal/analysis/analysistest"
+	"easycrash/internal/analysis/batchedaccess"
+)
+
+func TestBatchedAccess(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "kernel")
+	analysistest.Run(t, dir, "easycrash/internal/apps/fixture", batchedaccess.Analyzer)
+}
+
+// TestScope: the same fixture loaded outside internal/apps must produce no
+// findings — per-element loops are only performance-load-bearing in kernels.
+func TestScope(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "kernel")
+	if fs := analysistest.Findings(t, dir, "easycrash/internal/tools/fixture", batchedaccess.Analyzer); len(fs) != 0 {
+		t.Fatalf("out-of-scope fixture produced findings: %v", fs)
+	}
+}

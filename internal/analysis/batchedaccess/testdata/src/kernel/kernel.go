@@ -1,0 +1,77 @@
+// Package kernel is the batchedaccess fixture: per-element slice accessors
+// and raw demand accessors inside loops must be reported unless the index is
+// a compile-time constant or the site carries a justified allow; stream and
+// run accessors must stay silent.
+package kernel
+
+import (
+	"easycrash/internal/mem"
+	"easycrash/internal/sim"
+)
+
+func perElementLoop(m *sim.Machine, o mem.Object) float64 {
+	u := m.F64(o)
+	var sum float64
+	for i := 0; i < u.Len(); i++ {
+		sum += u.At(i) // want `per-element F64Slice.At in a loop`
+	}
+	return sum
+}
+
+func perElementStore(m *sim.Machine, o mem.Object) {
+	h := m.I64(o)
+	for i := 0; i < h.Len(); i++ {
+		h.Set(i, int64(i)) // want `per-element I64Slice.Set in a loop`
+	}
+}
+
+func rawAccessorLoop(m *sim.Machine, o mem.Object) {
+	for i := 0; i < 8; i++ {
+		m.StoreF64(o.Addr+uint64(i)*8, 1.5) // want `per-element Machine.StoreF64 in a loop`
+	}
+}
+
+func rangeLoop(m *sim.Machine, o mem.Object, xs []float64) {
+	u := m.F64(o)
+	for i, x := range xs {
+		u.Set(i, x) // want `per-element F64Slice.Set in a loop`
+	}
+}
+
+func streamed(m *sim.Machine, o mem.Object) float64 {
+	s := m.F64Stream(o)
+	var sum float64
+	for i := 0; i < s.Len(); i++ {
+		sum += s.At(i) // streams are the fix, not the bug
+	}
+	return sum
+}
+
+func runs(m *sim.Machine, o mem.Object, buf []float64) {
+	u := m.F64(o)
+	for it := 0; it < 4; it++ {
+		u.LoadRun(0, buf)
+		u.StoreRun(len(buf), buf)
+	}
+}
+
+func constantIndex(m *sim.Machine, o mem.Object) {
+	scal := m.F64(o)
+	for it := 0; it < 4; it++ {
+		scal.Set(0, float64(it)) // one-element bookkeeping: nothing to batch
+	}
+}
+
+func outsideLoop(m *sim.Machine, o mem.Object, i int) float64 {
+	return m.F64(o).At(i)
+}
+
+func annotated(m *sim.Machine, o mem.Object, idx []int) float64 {
+	u := m.F64(o)
+	var sum float64
+	for _, j := range idx {
+		//eclint:allow batchedaccess — indirect gather, not stride-regular
+		sum += u.At(j)
+	}
+	return sum
+}

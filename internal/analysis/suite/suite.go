@@ -6,6 +6,7 @@ package suite
 import (
 	"easycrash/internal/analysis"
 	"easycrash/internal/analysis/addrstride"
+	"easycrash/internal/analysis/batchedaccess"
 	"easycrash/internal/analysis/campaigndet"
 	"easycrash/internal/analysis/directmem"
 	"easycrash/internal/analysis/persistorder"
@@ -16,6 +17,7 @@ import (
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		addrstride.Analyzer,
+		batchedaccess.Analyzer,
 		campaigndet.Analyzer,
 		directmem.Analyzer,
 		persistorder.Analyzer,

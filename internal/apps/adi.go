@@ -89,8 +89,7 @@ func (k *adi) Setup(m *sim.Machine) {
 
 // Init implements Kernel.
 func (k *adi) Init(m *sim.Machine) {
-	u, rhs, frct, coef := m.F64(k.u), m.F64(k.rhs), m.F64(k.frct), m.F64(k.coef)
-	scal := m.F64(k.scal)
+	u, rhs, frct, coef := m.F64Stream(k.u), m.F64Stream(k.rhs), m.F64Stream(k.frct), m.F64Stream(k.coef)
 	rng := splitmix64(173205)
 	for i := 0; i < k.cells()*adiComps; i++ {
 		u.Set(i, 0)
@@ -100,9 +99,7 @@ func (k *adi) Init(m *sim.Machine) {
 	for i := 0; i < k.cells(); i++ {
 		coef.Set(i, 0.9+0.2*rng.f64())
 	}
-	for i := 0; i < 8; i++ {
-		scal.Set(i, 0)
-	}
+	m.F64(k.scal).StoreRun(0, make([]float64, 8))
 	m.I64(k.it).Set(0, 0)
 }
 
@@ -123,10 +120,17 @@ func (k *adi) stride(d int) int {
 // lineSolve performs the forward-elimination half (fwd=true) or the
 // back-substitution half of a tridiagonal solve along dimension d, in place
 // on rhs. BT couples the two components through a 2x2 block diagonal.
-func (k *adi) lineSolve(m *sim.Machine, rhs, coef sim.F64Slice, d int, fwd bool) {
+func (k *adi) lineSolve(m *sim.Machine, d int, fwd bool) {
 	n := k.n
 	str := k.stride(d)
 	cstr := str / adiComps
+	// Cursor per line-solve arm: the current cell (p and p+1 share a block),
+	// the previous/next cell, and the pentadiagonal second neighbour. Along
+	// x the arms are block-sequential; along y/z they stride, which streams
+	// handle (each access just re-resolves).
+	rhs, rhsPrev := m.F64Stream(k.rhs), m.F64Stream(k.rhs)
+	rhsPrev2, rhsNext := m.F64Stream(k.rhs), m.F64Stream(k.rhs)
+	coef := m.F64Stream(k.coef)
 	// Iterate over all lines along dimension d.
 	for a := 0; a < n; a++ {
 		for b := 0; b < n; b++ {
@@ -146,25 +150,25 @@ func (k *adi) lineSolve(m *sim.Machine, rhs, coef sim.F64Slice, d int, fwd bool)
 					diag := 4.0 + cf
 					if k.block {
 						// 2x2 block: couple the components.
-						r0 := (rhs.At(p) + rhs.At(p-str)) / diag
-						r1 := (rhs.At(p+1) + rhs.At(p+1-str)) / diag
+						r0 := (rhs.At(p) + rhsPrev.At(p-str)) / diag
+						r1 := (rhs.At(p+1) + rhsPrev.At(p+1-str)) / diag
 						rhs.Set(p, r0+0.05*r1)
 						rhs.Set(p+1, r1+0.05*r0)
 					} else {
 						// Scalar with a second-neighbour (pentadiagonal) term.
 						prev2 := 0.0
 						if i >= 2 {
-							prev2 = rhs.At(p - 2*str)
+							prev2 = rhsPrev2.At(p - 2*str)
 						}
-						rhs.Set(p, (rhs.At(p)+rhs.At(p-str)+0.2*prev2)/diag)
-						rhs.Set(p+1, (rhs.At(p+1)+rhs.At(p+1-str))/diag)
+						rhs.Set(p, (rhs.At(p)+rhsPrev.At(p-str)+0.2*prev2)/diag)
+						rhs.Set(p+1, (rhs.At(p+1)+rhsPrev.At(p+1-str))/diag)
 					}
 				}
 			} else {
 				for i := n - 2; i >= 0; i-- {
 					p := base + i*str
-					rhs.Set(p, rhs.At(p)+0.25*rhs.At(p+str))
-					rhs.Set(p+1, rhs.At(p+1)+0.25*rhs.At(p+1+str))
+					rhs.Set(p, rhs.At(p)+0.25*rhsNext.At(p+str))
+					rhs.Set(p+1, rhs.At(p+1)+0.25*rhsNext.At(p+1+str))
 				}
 			}
 		}
@@ -176,10 +180,13 @@ func (k *adi) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
 	if maxIter > k.nit {
 		maxIter = k.nit
 	}
-	u, rhs, frct, coef := m.F64(k.u), m.F64(k.rhs), m.F64(k.frct), m.F64(k.coef)
 	scal := m.F64(k.scal)
 	itv := m.I64(k.it)
 	n := k.n
+
+	// One stream per assembly arm; the line solves build their own cursors.
+	u, rhs, frct := m.F64Stream(k.u), m.F64Stream(k.rhs), m.F64Stream(k.frct)
+	uM, uP := m.F64Stream(k.u), m.F64Stream(k.u)
 
 	m.MainLoopBegin()
 	defer m.MainLoopEnd()
@@ -207,8 +214,8 @@ func (k *adi) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
 							interior := x > 0 && x < n-1 && y > 0 && y < n-1 && z > 0 && z < n-1
 							flux := 0.0
 							if interior {
-								flux = u.At(k.idx(x-dx, y-dy, z-dz, c)) - 2*u.At(k.idx(x, y, z, c)) +
-									u.At(k.idx(x+dx, y+dy, z+dz, c))
+								flux = uM.At(k.idx(x-dx, y-dy, z-dz, c)) - 2*u.At(k.idx(x, y, z, c)) +
+									uP.At(k.idx(x+dx, y+dy, z+dz, c))
 							}
 							prev := 0.0
 							if d > 0 {
@@ -258,11 +265,11 @@ func (k *adi) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
 		// Line solves: forward and backward per dimension.
 		for d := 0; d < 3; d++ {
 			m.BeginRegion(region)
-			k.lineSolve(m, rhs, coef, d, true)
+			k.lineSolve(m, d, true)
 			m.EndRegion(region)
 			region++
 			m.BeginRegion(region)
-			k.lineSolve(m, rhs, coef, d, false)
+			k.lineSolve(m, d, false)
 			m.EndRegion(region)
 			region++
 		}
@@ -316,7 +323,7 @@ func (k *adi) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
 // Result implements Kernel.
 func (k *adi) Result(m *sim.Machine) []float64 {
 	scal := m.F64(k.scal)
-	u := m.F64(k.u)
+	u := m.F64Stream(k.u)
 	var sum float64
 	for i := 0; i < k.cells()*adiComps; i += 3 {
 		sum += u.At(i) * float64(i%5+1)

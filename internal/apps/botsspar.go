@@ -70,8 +70,8 @@ func (k *Botsspar) Setup(m *sim.Machine) {
 // Init implements Kernel: random blocks with strongly dominant diagonal
 // blocks so the unpivoted factorisation stays stable.
 func (k *Botsspar) Init(m *sim.Machine) {
-	blocks := m.F64(k.blocks)
-	done := m.I64(k.done)
+	blocks := m.F64Stream(k.blocks)
+	done := m.I64Stream(k.done)
 	rng := splitmix64(223606)
 	for bi := 0; bi < k.b; bi++ {
 		for bj := 0; bj < k.b; bj++ {
@@ -102,10 +102,15 @@ func (k *Botsspar) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
 	if maxIter > int64(k.b) {
 		maxIter = int64(k.b)
 	}
-	blocks := m.F64(k.blocks)
-	done := m.I64(k.done)
 	itv := m.I64(k.it)
 	S := k.s
+
+	// A 4x4 block is two cache lines, so a cursor per matrix-block operand
+	// (target row, pivot row, L, U) keeps even the data-dependent in-block
+	// walks memoized; the progress directory gets its own cursor.
+	blocks, pivRow := m.F64Stream(k.blocks), m.F64Stream(k.blocks)
+	lOp, uOp := m.F64Stream(k.blocks), m.F64Stream(k.blocks)
+	done := m.I64Stream(k.done)
 
 	m.MainLoopBegin()
 	defer m.MainLoopEnd()
@@ -120,12 +125,12 @@ func (k *Botsspar) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
 		diag := k.blockBase(kk, kk)
 		if done.At(kk*k.b+kk) < int64(kk)+doneLU {
 			for p := 0; p < S; p++ {
-				piv := blocks.At(diag + p*S + p)
+				piv := pivRow.At(diag + p*S + p)
 				for i := p + 1; i < S; i++ {
 					l := blocks.At(diag+i*S+p) / piv
 					blocks.Set(diag+i*S+p, l)
 					for j := p + 1; j < S; j++ {
-						blocks.Set(diag+i*S+j, blocks.At(diag+i*S+j)-l*blocks.At(diag+p*S+j))
+						blocks.Set(diag+i*S+j, blocks.At(diag+i*S+j)-l*pivRow.At(diag+p*S+j))
 					}
 				}
 			}
@@ -142,9 +147,9 @@ func (k *Botsspar) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
 			tgt := k.blockBase(kk, bj)
 			for p := 0; p < S; p++ {
 				for i := p + 1; i < S; i++ {
-					l := blocks.At(diag + i*S + p)
+					l := lOp.At(diag + i*S + p)
 					for j := 0; j < S; j++ {
-						blocks.Set(tgt+i*S+j, blocks.At(tgt+i*S+j)-l*blocks.At(tgt+p*S+j))
+						blocks.Set(tgt+i*S+j, blocks.At(tgt+i*S+j)-l*pivRow.At(tgt+p*S+j))
 					}
 				}
 			}
@@ -160,11 +165,11 @@ func (k *Botsspar) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
 			}
 			tgt := k.blockBase(bi, kk)
 			for j := 0; j < S; j++ {
-				pj := blocks.At(diag + j*S + j)
+				pj := pivRow.At(diag + j*S + j)
 				for i := 0; i < S; i++ {
 					v := blocks.At(tgt + i*S + j)
 					for p := 0; p < j; p++ {
-						v -= blocks.At(tgt+i*S+p) * blocks.At(diag+p*S+j)
+						v -= lOp.At(tgt+i*S+p) * uOp.At(diag+p*S+j)
 					}
 					blocks.Set(tgt+i*S+j, v/pj)
 				}
@@ -188,7 +193,7 @@ func (k *Botsspar) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
 					for j := 0; j < S; j++ {
 						v := blocks.At(t + i*S + j)
 						for p := 0; p < S; p++ {
-							v -= blocks.At(l+i*S+p) * blocks.At(u+p*S+j)
+							v -= lOp.At(l+i*S+p) * uOp.At(u+p*S+j)
 						}
 						blocks.Set(t+i*S+j, v)
 					}
@@ -207,7 +212,7 @@ func (k *Botsspar) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
 
 // Result implements Kernel: a weighted checksum of the factors.
 func (k *Botsspar) Result(m *sim.Machine) []float64 {
-	blocks := m.F64(k.blocks)
+	blocks := m.F64Stream(k.blocks)
 	var sum, asum float64
 	for i := 0; i < k.b*k.b*k.s*k.s; i += 3 {
 		v := blocks.At(i)

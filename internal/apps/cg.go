@@ -84,10 +84,9 @@ func (k *CG) Setup(m *sim.Machine) {
 // Init implements Kernel: a random symmetric diagonally dominant matrix and
 // the all-ones start vector.
 func (k *CG) Init(m *sim.Machine) {
-	vals := m.F64(k.vals)
-	colidx, rptr := m.I64(k.colidx), m.I64(k.rptr)
-	x, z, rr, pp, q := m.F64(k.x), m.F64(k.z), m.F64(k.rr), m.F64(k.pp), m.F64(k.q)
-	scal := m.F64(k.scal)
+	vals := m.F64Stream(k.vals)
+	colidx, rptr := m.I64Stream(k.colidx), m.I64Stream(k.rptr)
+	x, z, rr, pp, q := m.F64Stream(k.x), m.F64Stream(k.z), m.F64Stream(k.rr), m.F64Stream(k.pp), m.F64Stream(k.q)
 
 	rng := splitmix64(424242)
 	nz := 0
@@ -127,20 +126,22 @@ func (k *CG) Init(m *sim.Machine) {
 		pp.Set(i, 0)
 		q.Set(i, 0)
 	}
-	for i := 0; i < 8; i++ {
-		scal.Set(i, 0)
-	}
+	m.F64(k.scal).StoreRun(0, make([]float64, 8))
 	m.I64(k.it).Set(0, 0)
 }
 
-// matvec computes dst = A·src.
-func (k *CG) matvec(m *sim.Machine, dst, src sim.F64Slice) {
-	vals := m.F64(k.vals)
-	colidx, rptr := m.I64(k.colidx), m.I64(k.rptr)
+// matvec computes dst = A·src. The CSR structure and values are walked
+// sequentially through streams; the gather src.At(colidx) is genuinely
+// irregular and keeps the scalar path.
+func (k *CG) matvec(m *sim.Machine, dst *sim.F64Stream, src sim.F64Slice) {
+	vals := m.F64Stream(k.vals)
+	colidx := m.I64Stream(k.colidx)
+	rptr, rptr1 := m.I64Stream(k.rptr), m.I64Stream(k.rptr)
 	for i := 0; i < k.n; i++ {
-		lo, hi := rptr.At(i), rptr.At(i+1)
+		lo, hi := rptr.At(i), rptr1.At(i+1)
 		var sum float64
 		for e := lo; e < hi; e++ {
+			//eclint:allow batchedaccess — indirect gather through colidx is not stride-regular
 			sum += vals.At(int(e)) * src.At(int(colidx.At(int(e))))
 		}
 		dst.Set(i, sum)
@@ -152,9 +153,14 @@ func (k *CG) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
 	if maxIter > 2*k.maxIt {
 		maxIter = 2 * k.maxIt
 	}
-	x, z, rr, pp, q := m.F64(k.x), m.F64(k.z), m.F64(k.rr), m.F64(k.pp), m.F64(k.q)
+	ppSlice := m.F64(k.pp)
 	scal := m.F64(k.scal)
 	itv := m.I64(k.it)
+
+	// One stream per vector: every inner loop touches each vector at the
+	// running index only, so read-modify-write shares the cursor.
+	x, z := m.F64Stream(k.x), m.F64Stream(k.z)
+	rr, pp, q := m.F64Stream(k.rr), m.F64Stream(k.pp), m.F64Stream(k.q)
 
 	m.MainLoopBegin()
 	defer m.MainLoopEnd()
@@ -177,7 +183,7 @@ func (k *CG) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
 		// R1..R4: four CG steps on A z = x.
 		for step := 0; step < 4; step++ {
 			m.BeginRegion(1 + step)
-			k.matvec(m, q, pp)
+			k.matvec(m, q, ppSlice)
 			var pq float64
 			for i := 0; i < k.n; i++ {
 				pq += pp.At(i) * q.At(i)

@@ -76,17 +76,15 @@ func (k *EP) Setup(m *sim.Machine) {
 
 // Init implements Kernel.
 func (k *EP) Init(m *sim.Machine) {
-	xbuf, sums := m.F64(k.xbuf), m.F64(k.sums)
-	hist := m.I64(k.hist)
+	xbuf := m.F64Stream(k.xbuf)
+	hist := m.I64Stream(k.hist)
 	for i := 0; i < xbuf.Len(); i++ {
 		xbuf.Set(i, 0)
 	}
 	for i := 0; i < histBins; i++ {
 		hist.Set(i, 0)
 	}
-	for i := 0; i < 8; i++ {
-		sums.Set(i, 0)
-	}
+	m.F64(k.sums).StoreRun(0, make([]float64, 8))
 	m.I64(k.it).Set(0, 0)
 }
 
@@ -95,9 +93,12 @@ func (k *EP) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
 	if maxIter > k.batches {
 		maxIter = k.batches
 	}
-	xbuf, sums := m.F64(k.xbuf), m.F64(k.sums)
+	sums := m.F64(k.sums)
 	hist := m.I64(k.hist)
 	itv := m.I64(k.it)
+	// The sample buffer is written and read sequentially; the histogram
+	// scatter is hash-addressed and stays scalar.
+	xbuf := m.F64Stream(k.xbuf)
 	// Thread-local accumulators (stack state, never persisted mid-run).
 	var sx, sy, acc float64
 
@@ -131,6 +132,7 @@ func (k *EP) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
 			acc++
 			h := math.Float64bits(gx) * 0x9E3779B97F4A7C15
 			bin := int((h >> 40) % histBins)
+			//eclint:allow batchedaccess — hash-addressed histogram increment
 			hist.Set(bin, hist.At(bin)+1)
 		}
 		m.EndRegion(1)
@@ -150,7 +152,7 @@ func (k *EP) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
 // histogram checksum.
 func (k *EP) Result(m *sim.Machine) []float64 {
 	sums := m.F64(k.sums)
-	hist := m.I64(k.hist)
+	hist := m.I64Stream(k.hist)
 	var hsum float64
 	for b := 0; b < histBins; b++ {
 		hsum += float64(int64(b+1) * hist.At(b))

@@ -70,7 +70,7 @@ func (k *FT) Setup(m *sim.Machine) {
 
 // Init implements Kernel: a deterministic pseudo-random complex field.
 func (k *FT) Init(m *sim.Machine) {
-	u, w, sums := m.F64(k.u), m.F64(k.w), m.F64(k.sums)
+	u, w, sums := m.F64Stream(k.u), m.F64Stream(k.w), m.F64Stream(k.sums)
 	rng := splitmix64(271828)
 	for i := 0; i < k.rows*k.cols; i++ {
 		u.Set(2*i, rng.f64()*2-1)
@@ -97,19 +97,24 @@ func (k *FT) phase(row, col int) float64 {
 	return -0.0007 * float64(kx*kx+ky*ky)
 }
 
-// fftRow runs an in-place iterative radix-2 FFT over one row of w.
-func (k *FT) fftRow(w sim.F64Slice, row int) {
+// fftRow runs an in-place iterative radix-2 FFT over one row of w. Streams
+// carry all the traffic: the butterfly a/b arms are block-sequential within
+// each stage, and even the bit-reversed j side is correct (if rarely
+// memoized) on a stream, since streams are access-for-access equivalent to
+// the scalar path for any pattern.
+func (k *FT) fftRow(m *sim.Machine, row int) {
 	n := k.cols
 	base := 2 * row * n
+	si, sj := m.F64Stream(k.w), m.F64Stream(k.w)
 	// Bit-reversal permutation.
 	for i, j := 0, 0; i < n; i++ {
 		if i < j {
-			wi0, wi1 := w.At(base+2*i), w.At(base+2*i+1)
-			wj0, wj1 := w.At(base+2*j), w.At(base+2*j+1)
-			w.Set(base+2*i, wj0)
-			w.Set(base+2*i+1, wj1)
-			w.Set(base+2*j, wi0)
-			w.Set(base+2*j+1, wi1)
+			wi0, wi1 := si.At(base+2*i), si.At(base+2*i+1)
+			wj0, wj1 := sj.At(base+2*j), sj.At(base+2*j+1)
+			si.Set(base+2*i, wj0)
+			si.Set(base+2*i+1, wj1)
+			sj.Set(base+2*j, wi0)
+			sj.Set(base+2*j+1, wi1)
 		}
 		mask := n >> 1
 		for ; j&mask != 0; mask >>= 1 {
@@ -117,7 +122,7 @@ func (k *FT) fftRow(w sim.F64Slice, row int) {
 		}
 		j |= mask
 	}
-	// Butterflies.
+	// Butterflies: one cursor per arm.
 	for size := 2; size <= n; size <<= 1 {
 		ang := 2 * math.Pi / float64(size)
 		wr, wi := math.Cos(ang), math.Sin(ang)
@@ -126,14 +131,14 @@ func (k *FT) fftRow(w sim.F64Slice, row int) {
 			for p := 0; p < size/2; p++ {
 				i0 := base + 2*(start+p)
 				i1 := base + 2*(start+p+size/2)
-				ar, ai := w.At(i0), w.At(i0+1)
-				br, bi := w.At(i1), w.At(i1+1)
+				ar, ai := si.At(i0), si.At(i0+1)
+				br, bi := sj.At(i1), sj.At(i1+1)
 				tr := br*cr - bi*ci
 				ti := br*ci + bi*cr
-				w.Set(i0, ar+tr)
-				w.Set(i0+1, ai+ti)
-				w.Set(i1, ar-tr)
-				w.Set(i1+1, ai-ti)
+				si.Set(i0, ar+tr)
+				si.Set(i0+1, ai+ti)
+				sj.Set(i1, ar-tr)
+				sj.Set(i1+1, ai-ti)
 				cr, ci = cr*wr-ci*wi, cr*wi+ci*wr
 			}
 		}
@@ -145,9 +150,14 @@ func (k *FT) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
 	if maxIter > k.nit {
 		maxIter = k.nit
 	}
-	u, w, sums := m.F64(k.u), m.F64(k.w), m.F64(k.sums)
+	wSlice := m.F64(k.w)
 	itv := m.I64(k.it)
 	n := k.rows * k.cols
+
+	// The evolve and copy loops walk u and w sequentially; only the strided
+	// checksum is irregular enough to stay on the scalar slice.
+	u, w, sums := m.F64Stream(k.u), m.F64Stream(k.w), m.F64Stream(k.sums)
+	uc := m.F64Stream(k.u)
 
 	m.MainLoopBegin()
 	defer m.MainLoopEnd()
@@ -176,10 +186,10 @@ func (k *FT) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
 			for row := lo; row < hi; row++ {
 				for col := 0; col < k.cols; col++ {
 					i := 2 * (row*k.cols + col)
-					w.Set(i, u.At(i))
-					w.Set(i+1, u.At(i+1))
+					w.Set(i, uc.At(i))
+					w.Set(i+1, uc.At(i+1))
 				}
-				k.fftRow(w, row)
+				k.fftRow(m, row)
 			}
 			m.EndRegion(1 + half)
 		}
@@ -189,8 +199,8 @@ func (k *FT) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
 		var cr, ci float64
 		for j := 0; j < 128; j++ {
 			q := (j * 541) % n
-			cr += w.At(2 * q)
-			ci += w.At(2*q + 1)
+			//eclint:allow batchedaccess — the checksum stride wraps mod n, not block-regular
+			cr, ci = cr+wSlice.At(2*q), ci+wSlice.At(2*q+1)
 		}
 		sums.Set(int(2*it), cr)
 		sums.Set(int(2*it+1), ci)
@@ -205,7 +215,7 @@ func (k *FT) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
 
 // Result implements Kernel: all per-iteration checksums.
 func (k *FT) Result(m *sim.Machine) []float64 {
-	sums := m.F64(k.sums)
+	sums := m.F64Stream(k.sums)
 	out := make([]float64, sums.Len())
 	for i := range out {
 		out[i] = sums.At(i)

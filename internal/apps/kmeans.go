@@ -77,9 +77,9 @@ func (k *Kmeans) Setup(m *sim.Machine) {
 // Init implements Kernel: four fuzzy clusters and deliberately poor initial
 // centroids (so Lloyd's needs a good number of iterations).
 func (k *Kmeans) Init(m *sim.Machine) {
-	points, centroids := m.F64(k.points), m.F64(k.centroids)
-	csums, scal := m.F64(k.csums), m.F64(k.scal)
-	ccounts, assign := m.I64(k.ccounts), m.I64(k.assign)
+	points, centroids := m.F64Stream(k.points), m.F64Stream(k.centroids)
+	csums := m.F64Stream(k.csums)
+	ccounts, assign := m.I64Stream(k.ccounts), m.I64Stream(k.assign)
 	rng := splitmix64(577215)
 	centersX := [4]float64{0, 8, 0, 8}
 	centersY := [4]float64{0, 0, 8, 8}
@@ -98,9 +98,7 @@ func (k *Kmeans) Init(m *sim.Machine) {
 			csums.Set(c*k.dims+d, 0)
 		}
 	}
-	for i := 0; i < 8; i++ {
-		scal.Set(i, 0)
-	}
+	m.F64(k.scal).StoreRun(0, make([]float64, 8))
 	m.I64(k.it).Set(0, 0)
 }
 
@@ -109,10 +107,15 @@ func (k *Kmeans) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
 	if maxIter > 2*k.maxIt {
 		maxIter = 2 * k.maxIt
 	}
-	points, centroids := m.F64(k.points), m.F64(k.centroids)
-	csums, scal := m.F64(k.csums), m.F64(k.scal)
-	ccounts, assign := m.I64(k.ccounts), m.I64(k.assign)
+	scal := m.F64(k.scal)
 	itv := m.I64(k.it)
+
+	// Streams throughout: the centroid array, per-cluster sums and counts
+	// each fit in one or two 64 B blocks, so even their data-dependent
+	// (best-indexed) accesses stay memoized.
+	points, centroids := m.F64Stream(k.points), m.F64Stream(k.centroids)
+	csums := m.F64Stream(k.csums)
+	ccounts, assign := m.I64Stream(k.ccounts), m.I64Stream(k.assign)
 
 	m.MainLoopBegin()
 	defer m.MainLoopEnd()
@@ -173,8 +176,8 @@ func (k *Kmeans) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
 
 // wcss computes the within-cluster sum of squares for the current state.
 func (k *Kmeans) wcss(m *sim.Machine) float64 {
-	points, centroids := m.F64(k.points), m.F64(k.centroids)
-	assign := m.I64(k.assign)
+	points, centroids := m.F64Stream(k.points), m.F64Stream(k.centroids)
+	assign := m.I64Stream(k.assign)
 	var total float64
 	for i := 0; i < k.n; i++ {
 		c := int(assign.At(i))

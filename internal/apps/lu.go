@@ -71,17 +71,14 @@ func (k *LU) Setup(m *sim.Machine) {
 
 // Init implements Kernel.
 func (k *LU) Init(m *sim.Machine) {
-	u, rsd, frct := m.F64(k.u), m.F64(k.rsd), m.F64(k.frct)
-	scal := m.F64(k.scal)
+	u, rsd, frct := m.F64Stream(k.u), m.F64Stream(k.rsd), m.F64Stream(k.frct)
 	rng := splitmix64(141421)
 	for i := 0; i < k.cells()*k.m; i++ {
 		u.Set(i, 0)
 		rsd.Set(i, 0)
 		frct.Set(i, rng.f64()*2-1)
 	}
-	for i := 0; i < 8; i++ {
-		scal.Set(i, 0)
-	}
+	m.F64(k.scal).StoreRun(0, make([]float64, 8))
 	m.I64(k.it).Set(0, 0)
 }
 
@@ -92,10 +89,22 @@ func (k *LU) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
 	if maxIter > k.nit {
 		maxIter = k.nit
 	}
-	u, rsd, frct := m.F64(k.u), m.F64(k.rsd), m.F64(k.frct)
 	scal := m.F64(k.scal)
 	itv := m.I64(k.it)
 	n := k.n
+
+	// One stream per stride-regular access site (stencil arm / array), so
+	// each cursor sees block-local traffic even though the loops interleave
+	// several arrays. Access order is identical to the scalar version.
+	uC, uCp := m.F64Stream(k.u), m.F64Stream(k.u)
+	uXm, uXp := m.F64Stream(k.u), m.F64Stream(k.u)
+	uYm, uYp := m.F64Stream(k.u), m.F64Stream(k.u)
+	uZm, uZp := m.F64Stream(k.u), m.F64Stream(k.u)
+	frctC := m.F64Stream(k.frct)
+	rC := m.F64Stream(k.rsd)
+	rXm, rXp := m.F64Stream(k.rsd), m.F64Stream(k.rsd)
+	rYm, rYp := m.F64Stream(k.rsd), m.F64Stream(k.rsd)
+	rZm, rZp := m.F64Stream(k.rsd), m.F64Stream(k.rsd)
 
 	m.MainLoopBegin()
 	defer m.MainLoopEnd()
@@ -109,12 +118,12 @@ func (k *LU) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
 			for y := 1; y < n-1; y++ {
 				for x := 1; x < n-1; x++ {
 					for c := 0; c < k.m; c++ {
-						ctr := u.At(k.idx(x, y, z, c))
-						nb := u.At(k.idx(x-1, y, z, c)) + u.At(k.idx(x+1, y, z, c)) +
-							u.At(k.idx(x, y-1, z, c)) + u.At(k.idx(x, y+1, z, c)) +
-							u.At(k.idx(x, y, z-1, c)) + u.At(k.idx(x, y, z+1, c))
-						couple := 0.1 * u.At(k.idx(x, y, z, 1-c))
-						rsd.Set(k.idx(x, y, z, c), frct.At(k.idx(x, y, z, c))-(6.4*ctr-nb+couple))
+						ctr := uC.At(k.idx(x, y, z, c))
+						nb := uXm.At(k.idx(x-1, y, z, c)) + uXp.At(k.idx(x+1, y, z, c)) +
+							uYm.At(k.idx(x, y-1, z, c)) + uYp.At(k.idx(x, y+1, z, c)) +
+							uZm.At(k.idx(x, y, z-1, c)) + uZp.At(k.idx(x, y, z+1, c))
+						couple := 0.1 * uCp.At(k.idx(x, y, z, 1-c))
+						rC.Set(k.idx(x, y, z, c), frctC.At(k.idx(x, y, z, c))-(6.4*ctr-nb+couple))
 					}
 				}
 			}
@@ -127,9 +136,9 @@ func (k *LU) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
 			for y := 1; y < n-1; y++ {
 				for x := 1; x < n-1; x++ {
 					for c := 0; c < k.m; c++ {
-						prev := rsd.At(k.idx(x-1, y, z, c)) + rsd.At(k.idx(x, y-1, z, c)) +
-							rsd.At(k.idx(x, y, z-1, c))
-						rsd.Set(k.idx(x, y, z, c), (rsd.At(k.idx(x, y, z, c))+prev)/6.4)
+						prev := rXm.At(k.idx(x-1, y, z, c)) + rYm.At(k.idx(x, y-1, z, c)) +
+							rZm.At(k.idx(x, y, z-1, c))
+						rC.Set(k.idx(x, y, z, c), (rC.At(k.idx(x, y, z, c))+prev)/6.4)
 					}
 				}
 			}
@@ -142,9 +151,9 @@ func (k *LU) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
 			for y := n - 2; y >= 1; y-- {
 				for x := n - 2; x >= 1; x-- {
 					for c := 0; c < k.m; c++ {
-						next := rsd.At(k.idx(x+1, y, z, c)) + rsd.At(k.idx(x, y+1, z, c)) +
-							rsd.At(k.idx(x, y, z+1, c))
-						rsd.Set(k.idx(x, y, z, c), rsd.At(k.idx(x, y, z, c))+next/6.4)
+						next := rXp.At(k.idx(x+1, y, z, c)) + rYp.At(k.idx(x, y+1, z, c)) +
+							rZp.At(k.idx(x, y, z+1, c))
+						rC.Set(k.idx(x, y, z, c), rC.At(k.idx(x, y, z, c))+next/6.4)
 					}
 				}
 			}
@@ -159,8 +168,8 @@ func (k *LU) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
 			for y := 1; y < n-1; y++ {
 				for x := 1; x < n-1; x++ {
 					for c := 0; c < k.m; c++ {
-						d := rsd.At(k.idx(x, y, z, c))
-						u.Set(k.idx(x, y, z, c), u.At(k.idx(x, y, z, c))+omega*d)
+						d := rC.At(k.idx(x, y, z, c))
+						uC.Set(k.idx(x, y, z, c), uC.At(k.idx(x, y, z, c))+omega*d)
 						norm += d * d
 					}
 				}
@@ -178,7 +187,7 @@ func (k *LU) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
 
 // Result implements Kernel: the final sweep norm and a solution checksum.
 func (k *LU) Result(m *sim.Machine) []float64 {
-	u := m.F64(k.u)
+	u := m.F64Stream(k.u)
 	scal := m.F64(k.scal)
 	var sum float64
 	for i := 0; i < k.cells()*k.m; i += 3 {

@@ -77,9 +77,9 @@ func (k *LULESH) Setup(m *sim.Machine) {
 
 // Init implements Kernel: the Sod shock tube — high energy on the left.
 func (k *LULESH) Init(m *sim.Machine) {
-	x, v, e := m.F64(k.x), m.F64(k.v), m.F64(k.e)
-	f, p, q := m.F64(k.f), m.F64(k.p), m.F64(k.q)
-	mass, mn := m.F64(k.mass), m.F64(k.mn)
+	x, v, e := m.F64Stream(k.x), m.F64Stream(k.v), m.F64Stream(k.e)
+	f, p, q := m.F64Stream(k.f), m.F64Stream(k.p), m.F64Stream(k.q)
+	mass, mn := m.F64Stream(k.mass), m.F64Stream(k.mn)
 	scal := m.F64(k.scal)
 	for j := 0; j <= k.n; j++ {
 		x.Set(j, float64(j)/float64(k.n))
@@ -106,13 +106,21 @@ func (k *LULESH) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
 	if maxIter > k.nit {
 		maxIter = k.nit
 	}
-	x, v, e := m.F64(k.x), m.F64(k.v), m.F64(k.e)
-	f, p, q := m.F64(k.f), m.F64(k.p), m.F64(k.q)
-	mass, mn := m.F64(k.mass), m.F64(k.mn)
 	scal := m.F64(k.scal)
 	itv := m.I64(k.it)
 	const gammaM1 = 0.4
 	const qcoef = 2.0
+
+	// One stream per access arm: the ctr (i) and +1 (i+1) arms of an array
+	// get separate cursors so each stays block-local; read-modify-write of
+	// the same element shares one cursor (same block by definition).
+	x, xp := m.F64Stream(k.x), m.F64Stream(k.x)
+	v, vp := m.F64Stream(k.v), m.F64Stream(k.v)
+	e := m.F64Stream(k.e)
+	f := m.F64Stream(k.f)
+	p, pm := m.F64Stream(k.p), m.F64Stream(k.p)
+	q, qm := m.F64Stream(k.q), m.F64Stream(k.q)
+	mass, mn := m.F64Stream(k.mass), m.F64Stream(k.mn)
 
 	m.MainLoopBegin()
 	defer m.MainLoopEnd()
@@ -128,7 +136,7 @@ func (k *LULESH) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
 		// R0: EOS and nodal forces.
 		m.BeginRegion(0)
 		for i := 0; i < k.n; i++ {
-			dx := x.At(i+1) - x.At(i)
+			dx := xp.At(i+1) - x.At(i)
 			if dx <= 0 || math.IsNaN(dx) {
 				// An inverted element: the mesh has been corrupted.
 				m.MainLoopEnd()
@@ -136,7 +144,7 @@ func (k *LULESH) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
 			}
 			rho := mass.At(i) / dx
 			p.Set(i, gammaM1*rho*e.At(i))
-			dv := v.At(i+1) - v.At(i)
+			dv := vp.At(i+1) - v.At(i)
 			if dv < 0 {
 				q.Set(i, qcoef*rho*dv*dv)
 			} else {
@@ -144,7 +152,7 @@ func (k *LULESH) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
 			}
 		}
 		for j := 1; j < k.n; j++ {
-			f.Set(j, (p.At(j-1)+q.At(j-1))-(p.At(j)+q.At(j)))
+			f.Set(j, (pm.At(j-1)+qm.At(j-1))-(p.At(j)+q.At(j)))
 		}
 		f.Set(0, 0)
 		f.Set(k.n, 0)
@@ -168,14 +176,14 @@ func (k *LULESH) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
 		m.BeginRegion(3)
 		minDt := math.Inf(1)
 		for i := 0; i < k.n; i++ {
-			dv := v.At(i+1) - v.At(i)
+			dv := vp.At(i+1) - v.At(i)
 			work := (p.At(i) + q.At(i)) * dv
 			en := e.At(i) - dt*work/mass.At(i)*1e-1
 			if en < 0 {
 				en = 0
 			}
 			e.Set(i, en)
-			dx := x.At(i+1) - x.At(i)
+			dx := xp.At(i+1) - x.At(i)
 			c := math.Sqrt(gammaM1 * en)
 			if c > 0 {
 				if cand := 0.3 * dx / c; cand < minDt {
@@ -198,7 +206,7 @@ func (k *LULESH) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
 
 // Result implements Kernel: conserved quantities and profile checksums.
 func (k *LULESH) Result(m *sim.Machine) []float64 {
-	x, v, e := m.F64(k.x), m.F64(k.v), m.F64(k.e)
+	x, v, e := m.F64Stream(k.x), m.F64Stream(k.v), m.F64Stream(k.e)
 	var etot, ksum, xs float64
 	for i := 0; i < k.n; i++ {
 		etot += e.At(i)

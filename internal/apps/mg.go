@@ -77,8 +77,8 @@ func (k *MG) Setup(m *sim.Machine) {
 
 // Init implements Kernel: zero solution, sparse ±1 charges as RHS.
 func (k *MG) Init(m *sim.Machine) {
-	u, unew, r, v := m.F64(k.u), m.F64(k.unew), m.F64(k.r), m.F64(k.v)
-	uc, rc := m.F64(k.uc), m.F64(k.rc)
+	u, unew, r, v := m.F64Stream(k.u), m.F64Stream(k.unew), m.F64Stream(k.r), m.F64Stream(k.v)
+	uc, rc := m.F64Stream(k.uc), m.F64Stream(k.rc)
 	for i := 0; i < u.Len(); i++ {
 		u.Set(i, 0)
 		unew.Set(i, 0)
@@ -112,10 +112,24 @@ func (k *MG) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
 	if maxIter > k.nit {
 		maxIter = k.nit // fixed-iteration kernel
 	}
-	u, unew, r, v := m.F64(k.u), m.F64(k.unew), m.F64(k.r), m.F64(k.v)
-	uc, rc := m.F64(k.uc), m.F64(k.rc)
 	itv := m.I64(k.it)
 	n, nc := k.n, k.nc
+
+	// One stream per stencil arm; the restriction's eight fine-grid reads
+	// reduce to four row cursors (the dx pair is block-adjacent).
+	u, unew, v := m.F64Stream(k.u), m.F64Stream(k.unew), m.F64Stream(k.v)
+	uXm, uXp := m.F64Stream(k.u), m.F64Stream(k.u)
+	uYm, uYp := m.F64Stream(k.u), m.F64Stream(k.u)
+	uZm, uZp := m.F64Stream(k.u), m.F64Stream(k.u)
+	r := m.F64Stream(k.r)
+	var rRow [4]*sim.F64Stream
+	for i := range rRow {
+		rRow[i] = m.F64Stream(k.r)
+	}
+	uc, rc := m.F64Stream(k.uc), m.F64Stream(k.rc)
+	ucXm, ucXp := m.F64Stream(k.uc), m.F64Stream(k.uc)
+	ucYm, ucYp := m.F64Stream(k.uc), m.F64Stream(k.uc)
+	ucZm, ucZp := m.F64Stream(k.uc), m.F64Stream(k.uc)
 
 	m.MainLoopBegin()
 	defer m.MainLoopEnd()
@@ -129,9 +143,9 @@ func (k *MG) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
 			for y := 1; y < n-1; y++ {
 				for x := 1; x < n-1; x++ {
 					c := u.At(k.idx(x, y, z))
-					nb := u.At(k.idx(x-1, y, z)) + u.At(k.idx(x+1, y, z)) +
-						u.At(k.idx(x, y-1, z)) + u.At(k.idx(x, y+1, z)) +
-						u.At(k.idx(x, y, z-1)) + u.At(k.idx(x, y, z+1))
+					nb := uXm.At(k.idx(x-1, y, z)) + uXp.At(k.idx(x+1, y, z)) +
+						uYm.At(k.idx(x, y-1, z)) + uYp.At(k.idx(x, y+1, z)) +
+						uZm.At(k.idx(x, y, z-1)) + uZp.At(k.idx(x, y, z+1))
 					r.Set(k.idx(x, y, z), v.At(k.idx(x, y, z))-(6*c-nb))
 				}
 			}
@@ -148,8 +162,9 @@ func (k *MG) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
 					var s float64
 					for dz := 0; dz < 2; dz++ {
 						for dy := 0; dy < 2; dy++ {
+							row := rRow[2*dz+dy]
 							for dx := 0; dx < 2; dx++ {
-								s += r.At(k.idx(fx+dx, fy+dy, fz+dz))
+								s += row.At(k.idx(fx+dx, fy+dy, fz+dz))
 							}
 						}
 					}
@@ -162,9 +177,9 @@ func (k *MG) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
 			for z := 1; z < nc-1; z++ {
 				for y := 1; y < nc-1; y++ {
 					for x := 1; x < nc-1; x++ {
-						nb := uc.At(k.idxc(x-1, y, z)) + uc.At(k.idxc(x+1, y, z)) +
-							uc.At(k.idxc(x, y-1, z)) + uc.At(k.idxc(x, y+1, z)) +
-							uc.At(k.idxc(x, y, z-1)) + uc.At(k.idxc(x, y, z+1))
+						nb := ucXm.At(k.idxc(x-1, y, z)) + ucXp.At(k.idxc(x+1, y, z)) +
+							ucYm.At(k.idxc(x, y-1, z)) + ucYp.At(k.idxc(x, y+1, z)) +
+							ucZm.At(k.idxc(x, y, z-1)) + ucZp.At(k.idxc(x, y, z+1))
 						uc.Set(k.idxc(x, y, z), (4*rc.At(k.idxc(x, y, z))+nb)/6)
 					}
 				}
@@ -184,9 +199,9 @@ func (k *MG) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
 			for y := 1; y < n-1; y++ {
 				for x := 1; x < n-1; x++ {
 					c := u.At(k.idx(x, y, z))
-					nb := u.At(k.idx(x-1, y, z)) + u.At(k.idx(x+1, y, z)) +
-						u.At(k.idx(x, y-1, z)) + u.At(k.idx(x, y+1, z)) +
-						u.At(k.idx(x, y, z-1)) + u.At(k.idx(x, y, z+1))
+					nb := uXm.At(k.idx(x-1, y, z)) + uXp.At(k.idx(x+1, y, z)) +
+						uYm.At(k.idx(x, y-1, z)) + uYp.At(k.idx(x, y+1, z)) +
+						uZm.At(k.idx(x, y, z-1)) + uZp.At(k.idx(x, y, z+1))
 					jac := (1-omega)*c + omega*(v.At(k.idx(x, y, z))+nb)/6
 					cx, cy, cz := x/2, y/2, z/2
 					if cx >= nc-1 {
@@ -220,16 +235,19 @@ func (k *MG) Run(m *sim.Machine, from, maxIter int64) (int64, error) {
 
 // Result implements Kernel: the L2 norm of the final residual.
 func (k *MG) Result(m *sim.Machine) []float64 {
-	u, v := m.F64(k.u), m.F64(k.v)
+	u, v := m.F64Stream(k.u), m.F64Stream(k.v)
+	uXm, uXp := m.F64Stream(k.u), m.F64Stream(k.u)
+	uYm, uYp := m.F64Stream(k.u), m.F64Stream(k.u)
+	uZm, uZp := m.F64Stream(k.u), m.F64Stream(k.u)
 	n := k.n
 	var sum float64
 	for z := 1; z < n-1; z++ {
 		for y := 1; y < n-1; y++ {
 			for x := 1; x < n-1; x++ {
 				c := u.At(k.idx(x, y, z))
-				nb := u.At(k.idx(x-1, y, z)) + u.At(k.idx(x+1, y, z)) +
-					u.At(k.idx(x, y-1, z)) + u.At(k.idx(x, y+1, z)) +
-					u.At(k.idx(x, y, z-1)) + u.At(k.idx(x, y, z+1))
+				nb := uXm.At(k.idx(x-1, y, z)) + uXp.At(k.idx(x+1, y, z)) +
+					uYm.At(k.idx(x, y-1, z)) + uYp.At(k.idx(x, y+1, z)) +
+					uZm.At(k.idx(x, y, z-1)) + uZp.At(k.idx(x, y, z+1))
 				res := v.At(k.idx(x, y, z)) - (6*c - nb)
 				sum += res * res
 			}

@@ -206,8 +206,15 @@ type cache struct {
 	tags    []uint64
 	state   []uint8
 	lru     []uint64 // LRU: last-touch tick; FIFO: insertion tick
+	mru     []int32  // per-set way-prediction hint: way of the last hit/insert
 	replace Replacement
 	rng     uint64 // xorshift state for Random replacement
+
+	// Incremental line counters, maintained by setState. countValid reads
+	// them instead of scanning every way of every set; recount rebuilds
+	// them after a bulk state restore (snapshot resume).
+	valid int
+	dirty int
 }
 
 // rngSeed seeds each tag array's xorshift state for Random replacement; a
@@ -222,21 +229,57 @@ func newCache(lc LevelConfig, replace Replacement) *cache {
 		tags:    make([]uint64, n*lc.Ways),
 		state:   make([]uint8, n*lc.Ways),
 		lru:     make([]uint64, n*lc.Ways),
+		mru:     make([]int32, n),
 		replace: replace,
 		rng:     rngSeed,
 	}
 }
 
 // lookup returns the way slot index for blk and whether it is resident.
+//
+// The per-set MRU hint is checked before the set scan: stride-regular
+// streams hit the same way repeatedly, so the common case is a single tag
+// compare. The hint is self-validating (tag + valid bit), so it never needs
+// resetting or snapshot capture — a stale hint only costs the scan it would
+// have cost anyway.
 func (c *cache) lookup(blk uint64) (int, bool) {
-	base := int(blk%c.nsets) * c.ways
+	set := int(blk % c.nsets)
+	base := set * c.ways
+	if i := base + int(c.mru[set]); c.tags[i] == blk && c.state[i]&stValid != 0 {
+		return i, true
+	}
 	for w := 0; w < c.ways; w++ {
 		i := base + w
 		if c.state[i]&stValid != 0 && c.tags[i] == blk {
+			c.mru[set] = int32(w)
 			return i, true
 		}
 	}
 	return -1, false
+}
+
+// setState writes a way's state flags, maintaining the incremental
+// valid/dirty line counters. Every state mutation must go through here
+// (or invalidateAll/recount, which reset the counters wholesale).
+func (c *cache) setState(i int, st uint8) {
+	old := c.state[i]
+	c.state[i] = st
+	c.valid += int(st&stValid) - int(old&stValid)
+	c.dirty += int((st&stDirty)>>1) - int((old&stDirty)>>1)
+}
+
+// recount rebuilds the incremental counters from a full scan, after the
+// state array was overwritten in bulk (snapshot resume).
+func (c *cache) recount() {
+	c.valid, c.dirty = 0, 0
+	for _, s := range c.state {
+		if s&stValid != 0 {
+			c.valid++
+			if s&stDirty != 0 {
+				c.dirty++
+			}
+		}
+	}
 }
 
 // victimSlot returns the slot to fill for blk: an invalid way if one
@@ -276,18 +319,13 @@ func (c *cache) invalidateAll() {
 	for i := range c.state {
 		c.state[i] = 0
 	}
+	c.valid, c.dirty = 0, 0
 }
 
+// countValid returns the incremental line counters (formerly a scan over
+// every way of every set — hot in stats/postmortem queries).
 func (c *cache) countValid() (valid, dirty int) {
-	for _, s := range c.state {
-		if s&stValid != 0 {
-			valid++
-			if s&stDirty != 0 {
-				dirty++
-			}
-		}
-	}
-	return
+	return c.valid, c.dirty
 }
 
 // Hierarchy is a coherent, inclusive cache hierarchy carrying data values.
@@ -307,14 +345,15 @@ type Hierarchy struct {
 	backing Backing
 
 	// Flat block store (replaces the historical map[uint64]*block):
-	// slots[blk] is the arena slot of blk's value, or -1 when not resident;
-	// the arena holds llcLines fixed slots and freeSlots is the stack of
-	// unused ones.
-	slots     []int32
-	arena     []byte
-	freeSlots []int32
-	llcLines  int
-	scratch   []uint64 // reused by WriteBackAll / ResidentBlocks
+	// slots[blk] is the arena slot of blk's value, or -1 when not resident.
+	// The arena has one slot per LLC line and a block's arena slot IS its
+	// LLC way slot (inclusion makes residency and LLC validity the same
+	// set), so slots[blk] doubles as an O(1) LLC lookup: attach/detach are
+	// driven by LLC insert/evict and no free-slot bookkeeping exists.
+	slots    []int32
+	arena    []byte
+	llcLines int
+	scratch  []uint64 // reused by WriteBackAll / ResidentBlocks
 
 	// poisoned reports detected-uncorrectable backing blocks (resolved from
 	// the backing at construction; nil when the backing cannot poison).
@@ -357,8 +396,6 @@ func New(cfg Config, backing Backing) *Hierarchy {
 
 	h.llcLines = int(h.llc.nsets) * h.llc.ways
 	h.arena = make([]byte, h.llcLines*BlockSize)
-	h.freeSlots = make([]int32, 0, h.llcLines)
-	h.resetFreeSlots()
 	if s, ok := backing.(interface{ Size() uint64 }); ok {
 		h.growSlots(s.Size() >> blockShift)
 	}
@@ -366,15 +403,6 @@ func New(cfg Config, backing Backing) *Hierarchy {
 		h.poisoned = p.Poisoned
 	}
 	return h
-}
-
-// resetFreeSlots rebuilds the free stack so slots are handed out in
-// ascending arena order, exactly as on a fresh hierarchy.
-func (h *Hierarchy) resetFreeSlots() {
-	h.freeSlots = h.freeSlots[:0]
-	for i := h.llcLines - 1; i >= 0; i-- {
-		h.freeSlots = append(h.freeSlots, int32(i))
-	}
 }
 
 // growSlots extends the slot table to cover at least nblocks blocks.
@@ -409,9 +437,9 @@ func (h *Hierarchy) blockData(blk uint64) *[BlockSize]byte {
 }
 
 // attach makes blk resident in the flat store and returns its value buffer.
-// The caller must have made LLC room first (inclusion bounds residency to
-// llcLines, so the free stack cannot be empty after an LLC insert).
-func (h *Hierarchy) attach(blk uint64) *[BlockSize]byte {
+// slot is the LLC way slot blk was just inserted into (insertLLC made the
+// room, so the corresponding arena slot is free by construction).
+func (h *Hierarchy) attach(blk uint64, slot int32) *[BlockSize]byte {
 	if blk >= uint64(len(h.slots)) {
 		// Backing without a known size: grow geometrically.
 		n := uint64(len(h.slots)) * 2
@@ -423,18 +451,13 @@ func (h *Hierarchy) attach(blk uint64) *[BlockSize]byte {
 		}
 		h.growSlots(n)
 	}
-	n := len(h.freeSlots) - 1
-	slot := h.freeSlots[n]
-	h.freeSlots = h.freeSlots[:n]
 	h.slots[blk] = slot
 	return h.dataAt(slot)
 }
 
-// detach drops blk's value and recycles its arena slot.
+// detach drops blk's value; the arena slot frees with its LLC way.
 func (h *Hierarchy) detach(blk uint64) {
-	slot := h.slots[blk]
 	h.slots[blk] = -1
-	h.freeSlots = append(h.freeSlots, slot)
 }
 
 // Config returns the hierarchy configuration.
@@ -460,6 +483,10 @@ func (h *Hierarchy) ResetStats() {
 // Load reads len(buf) bytes at addr through the cache on the given core.
 func (h *Hierarchy) Load(core int, addr uint64, buf []byte) {
 	h.stats.Loads++
+	if off := int(addr & (BlockSize - 1)); off+len(buf) <= BlockSize {
+		h.accessBlock(core, addr>>blockShift, off, buf, false)
+		return
+	}
 	h.split(core, addr, buf, false)
 }
 
@@ -467,7 +494,87 @@ func (h *Hierarchy) Load(core int, addr uint64, buf []byte) {
 // (write-allocate: the block is brought into the cache first).
 func (h *Hierarchy) Store(core int, addr uint64, buf []byte) {
 	h.stats.Stores++
+	if off := int(addr & (BlockSize - 1)); off+len(buf) <= BlockSize {
+		h.accessBlock(core, addr>>blockShift, off, buf, true)
+		return
+	}
 	h.split(core, addr, buf, true)
+}
+
+// LoadRun reads len(buf)/8 consecutive 8-byte elements starting at addr,
+// equivalent to issuing one 8-byte Load per element but resolving residency
+// once per 64 B block. addr must be 8-byte aligned and len(buf) a multiple
+// of 8 (unaligned runs fall back to the per-element path).
+func (h *Hierarchy) LoadRun(core int, addr uint64, buf []byte) {
+	h.accessRun(core, addr, buf, false)
+}
+
+// StoreRun writes len(buf)/8 consecutive 8-byte elements starting at addr;
+// the batched counterpart of per-element Store (see LoadRun).
+func (h *Hierarchy) StoreRun(core int, addr uint64, buf []byte) {
+	h.accessRun(core, addr, buf, true)
+}
+
+// accessRun is the batched engine: per 64 B block it pays one residency
+// resolution, then accounts the remaining elements of the block in bulk.
+// The result is element-for-element equivalent to the scalar path — same
+// tick evolution, hit/miss counts, LRU touches, dirty bits, coherence
+// traffic and fill/eviction order — because within one block the 2nd..kth
+// scalar accesses are always innermost-level hits whose only effects are a
+// tick, a Hits[0] count and an LRU touch (idempotent dirty marks and no-op
+// coherence aside).
+func (h *Hierarchy) accessRun(core int, addr uint64, buf []byte, store bool) {
+	if addr&7 != 0 || len(buf)&7 != 0 {
+		// Unaligned elements can straddle blocks (two ticks each); keep the
+		// exact scalar semantics for them.
+		for len(buf) > 0 {
+			n := 8
+			if n > len(buf) {
+				n = len(buf)
+			}
+			if store {
+				h.Store(core, addr, buf[:n])
+			} else {
+				h.Load(core, addr, buf[:n])
+			}
+			addr += uint64(n)
+			buf = buf[n:]
+		}
+		return
+	}
+	if store {
+		h.stats.Stores += uint64(len(buf)) >> 3
+	} else {
+		h.stats.Loads += uint64(len(buf)) >> 3
+	}
+	for len(buf) > 0 {
+		off := int(addr & (BlockSize - 1))
+		seg := BlockSize - off
+		if seg > len(buf) {
+			seg = len(buf)
+		}
+		blk := addr >> blockShift
+		h.tick++
+		data, inner, slot := h.ensureResident(core, blk)
+		if store {
+			copy(data[off:off+seg], buf[:seg])
+			if st := inner.state[slot]; st&stDirty == 0 {
+				inner.setState(slot, st|stDirty)
+			}
+			if h.cfg.Cores > 1 {
+				h.invalidateOthers(core, blk)
+			}
+		} else {
+			copy(buf[:seg], data[off:off+seg])
+		}
+		if k := uint64(seg) >> 3; k > 1 {
+			h.tick += k - 1
+			h.stats.Hits[0] += k - 1
+			inner.touch(slot, h.tick)
+		}
+		addr += uint64(seg)
+		buf = buf[seg:]
+	}
 }
 
 func (h *Hierarchy) split(core int, addr uint64, buf []byte, store bool) {
@@ -485,22 +592,13 @@ func (h *Hierarchy) split(core int, addr uint64, buf []byte, store bool) {
 
 func (h *Hierarchy) accessBlock(core int, blk uint64, off int, buf []byte, store bool) {
 	h.tick++
-	data := h.ensureResident(core, blk)
+	data, inner, slot := h.ensureResident(core, blk)
 	if store {
 		copy(data[off:off+len(buf)], buf)
-		// Mark dirty in the innermost level.
-		if h.npriv == 0 {
-			slot, ok := h.llc.lookup(blk)
-			if !ok {
-				panic("cachesim: stored block not resident in LLC")
-			}
-			h.llc.state[slot] |= stDirty
-		} else {
-			slot, ok := h.priv[core][0].lookup(blk)
-			if !ok {
-				panic("cachesim: stored block not resident in L1")
-			}
-			h.priv[core][0].state[slot] |= stDirty
+		// Mark dirty in the innermost level; ensureResident just returned
+		// its residency, so no second lookup is needed.
+		if st := inner.state[slot]; st&stDirty == 0 {
+			inner.setState(slot, st|stDirty)
 		}
 		if h.cfg.Cores > 1 {
 			h.invalidateOthers(core, blk)
@@ -511,15 +609,37 @@ func (h *Hierarchy) accessBlock(core int, blk uint64, off int, buf []byte, store
 }
 
 // ensureResident makes blk resident in every level on core's path and
-// returns its value buffer. Fill order is outermost-first so the inclusion
-// invariant holds while inner levels evict.
-func (h *Hierarchy) ensureResident(core int, blk uint64) *[BlockSize]byte {
+// returns its value buffer together with its innermost residency (the L1
+// tag array and way slot, or the LLC's when there are no private levels),
+// so callers can mark dirtiness without a second lookup. Fill order is
+// outermost-first so the inclusion invariant holds while inner levels evict.
+func (h *Hierarchy) ensureResident(core int, blk uint64) (*[BlockSize]byte, *cache, int) {
+	if h.slotOf(blk) < 0 {
+		// No arena slot means blk is valid in no cache (every resident
+		// line's value lives in the arena), so the per-level tag scans are
+		// guaranteed misses: record them and fill straight from memory.
+		for l := 0; l < h.nlev; l++ {
+			h.stats.Misses[l]++
+		}
+		llcSlot := h.insertLLC(blk)
+		h.backing.ReadBlock(blk<<blockShift, h.attach(blk, int32(llcSlot))[:])
+		h.stats.Fills++
+		if h.npriv == 0 {
+			return h.blockData(blk), h.llc, llcSlot
+		}
+		slot := -1
+		for l := h.npriv - 1; l >= 0; l-- {
+			slot = h.insertPrivate(core, l, blk)
+		}
+		return h.blockData(blk), h.priv[core][0], slot
+	}
 	// Fast path: L1 hit.
 	if h.npriv > 0 {
-		if slot, ok := h.priv[core][0].lookup(blk); ok {
-			h.priv[core][0].touch(slot, h.tick)
+		l1 := h.priv[core][0]
+		if slot, ok := l1.lookup(blk); ok {
+			l1.touch(slot, h.tick)
 			h.stats.Hits[0]++
-			return h.blockData(blk)
+			return h.blockData(blk), l1, slot
 		}
 		h.stats.Misses[0]++
 	}
@@ -534,22 +654,13 @@ func (h *Hierarchy) ensureResident(core int, blk uint64) *[BlockSize]byte {
 		}
 		h.stats.Misses[l]++
 	}
+	llcSlot := -1
 	if hitLevel == -1 {
-		if slot, ok := h.llc.lookup(blk); ok {
-			h.llc.touch(slot, h.tick)
-			h.stats.Hits[h.nlev-1]++
-			hitLevel = h.nlev - 1
-		} else {
-			h.stats.Misses[h.nlev-1]++
-		}
-	}
-	if hitLevel == -1 {
-		// Fill from backing memory. The LLC insert happens first so its
-		// eviction recycles an arena slot before the fill claims one.
-		h.insertLLC(blk)
-		b := h.attach(blk)
-		h.backing.ReadBlock(blk<<blockShift, b[:])
-		h.stats.Fills++
+		// slotOf(blk) >= 0 past the cold path above, and the arena slot is
+		// the LLC way slot: a guaranteed O(1) LLC hit, no tag scan.
+		llcSlot = int(h.slots[blk])
+		h.llc.touch(llcSlot, h.tick)
+		h.stats.Hits[h.nlev-1]++
 		hitLevel = h.nlev - 1
 	}
 	// Fill private levels from hitLevel-1 down to 0 (outermost first).
@@ -557,21 +668,30 @@ func (h *Hierarchy) ensureResident(core int, blk uint64) *[BlockSize]byte {
 	if hitLevel == h.nlev-1 {
 		top = h.npriv - 1
 	}
-	for l := top; l >= 0; l-- {
-		h.insertPrivate(core, l, blk)
+	if top < 0 {
+		// No private levels: the LLC is the innermost residency.
+		return h.blockData(blk), h.llc, llcSlot
 	}
-	return h.blockData(blk)
+	slot := -1
+	for l := top; l >= 0; l-- {
+		slot = h.insertPrivate(core, l, blk)
+	}
+	return h.blockData(blk), h.priv[core][0], slot
 }
 
-// insertLLC inserts blk into the shared LLC, evicting a victim if needed.
-func (h *Hierarchy) insertLLC(blk uint64) {
+// insertLLC inserts blk into the shared LLC, evicting a victim if needed,
+// and returns the way slot used.
+func (h *Hierarchy) insertLLC(blk uint64) int {
 	slot := h.llc.victimSlot(blk)
 	if h.llc.state[slot]&stValid != 0 {
 		h.evictLLCSlot(slot)
 	}
+	set := int(blk % h.llc.nsets)
 	h.llc.tags[slot] = blk
-	h.llc.state[slot] = stValid
+	h.llc.setState(slot, stValid)
 	h.llc.lru[slot] = h.tick
+	h.llc.mru[set] = int32(slot - set*h.llc.ways)
+	return slot
 }
 
 // evictLLCSlot evicts the block in an LLC slot: back-invalidates every
@@ -586,7 +706,7 @@ func (h *Hierarchy) evictLLCSlot(slot int) {
 				if h.priv[c][l].state[s]&stDirty != 0 {
 					dirty = true
 				}
-				h.priv[c][l].state[s] = 0
+				h.priv[c][l].setState(s, 0)
 			}
 		}
 	}
@@ -595,12 +715,13 @@ func (h *Hierarchy) evictLLCSlot(slot int) {
 		h.stats.EvictionWritebacks++
 	}
 	h.detach(victim)
-	h.llc.state[slot] = 0
+	h.llc.setState(slot, 0)
 }
 
 // insertPrivate inserts blk into core's private level l, evicting the LRU
-// victim into level l+1 (which holds it by inclusion).
-func (h *Hierarchy) insertPrivate(core, l int, blk uint64) {
+// victim into level l+1 (which holds it by inclusion). Returns the way slot
+// used.
+func (h *Hierarchy) insertPrivate(core, l int, blk uint64) int {
 	c := h.priv[core][l]
 	slot := c.victimSlot(blk)
 	if c.state[slot]&stValid != 0 {
@@ -613,17 +734,19 @@ func (h *Hierarchy) insertPrivate(core, l int, blk uint64) {
 				if h.priv[core][il].state[s]&stDirty != 0 {
 					victimDirty = true
 				}
-				h.priv[core][il].state[s] = 0
+				h.priv[core][il].setState(s, 0)
 			}
 		}
 		if victimDirty {
 			h.markDirtyBelow(core, l, victim)
 		}
-		c.state[slot] = 0
 	}
+	set := int(blk % c.nsets)
 	c.tags[slot] = blk
-	c.state[slot] = stValid
+	c.setState(slot, stValid)
 	c.lru[slot] = h.tick
+	c.mru[set] = int32(slot - set*c.ways)
+	return slot
 }
 
 // markDirtyBelow records that victim, evicted dirty out of core's level l,
@@ -631,13 +754,13 @@ func (h *Hierarchy) insertPrivate(core, l int, blk uint64) {
 func (h *Hierarchy) markDirtyBelow(core, l int, victim uint64) {
 	if l+1 < h.npriv {
 		if s, ok := h.priv[core][l+1].lookup(victim); ok {
-			h.priv[core][l+1].state[s] |= stDirty
+			h.priv[core][l+1].setState(s, h.priv[core][l+1].state[s]|stDirty)
 			return
 		}
 		panic("cachesim: inclusion violated: victim absent from next private level")
 	}
-	if s, ok := h.llc.lookup(victim); ok {
-		h.llc.state[s] |= stDirty
+	if s := h.slotOf(victim); s >= 0 {
+		h.llc.setState(int(s), h.llc.state[s]|stDirty)
 		return
 	}
 	panic("cachesim: inclusion violated: victim absent from LLC")
@@ -653,11 +776,11 @@ func (h *Hierarchy) invalidateOthers(writer int, blk uint64) {
 		for l := 0; l < h.npriv; l++ {
 			if s, ok := h.priv[c][l].lookup(blk); ok {
 				if h.priv[c][l].state[s]&stDirty != 0 {
-					if ls, ok := h.llc.lookup(blk); ok {
-						h.llc.state[ls] |= stDirty
+					if ls := h.slotOf(blk); ls >= 0 {
+						h.llc.setState(int(ls), h.llc.state[ls]|stDirty)
 					}
 				}
-				h.priv[c][l].state[s] = 0
+				h.priv[c][l].setState(s, 0)
 				h.stats.Invalidations++
 			}
 		}
@@ -666,7 +789,7 @@ func (h *Hierarchy) invalidateOthers(writer int, blk uint64) {
 
 // dirtyAnywhere reports whether blk is dirty in any level of any core.
 func (h *Hierarchy) dirtyAnywhere(blk uint64) bool {
-	if s, ok := h.llc.lookup(blk); ok && h.llc.state[s]&stDirty != 0 {
+	if s := h.slotOf(blk); s >= 0 && h.llc.state[s]&stDirty != 0 {
 		return true
 	}
 	for c := 0; c < h.cfg.Cores; c++ {
@@ -680,14 +803,16 @@ func (h *Hierarchy) dirtyAnywhere(blk uint64) bool {
 }
 
 // cleanEverywhere clears the dirty bit of blk in every level of every core.
+// Residency is untouched, so Stream memoizations stay valid (a memoized
+// store re-marks the line dirty exactly as the scalar path would).
 func (h *Hierarchy) cleanEverywhere(blk uint64) {
-	if s, ok := h.llc.lookup(blk); ok {
-		h.llc.state[s] &^= stDirty
+	if s := h.slotOf(blk); s >= 0 {
+		h.llc.setState(int(s), h.llc.state[s]&^stDirty)
 	}
 	for c := 0; c < h.cfg.Cores; c++ {
 		for l := 0; l < h.npriv; l++ {
 			if s, ok := h.priv[c][l].lookup(blk); ok {
-				h.priv[c][l].state[s] &^= stDirty
+				h.priv[c][l].setState(s, h.priv[c][l].state[s]&^stDirty)
 			}
 		}
 	}
@@ -695,13 +820,13 @@ func (h *Hierarchy) cleanEverywhere(blk uint64) {
 
 // invalidateEverywhere removes blk from every level and drops its value.
 func (h *Hierarchy) invalidateEverywhere(blk uint64) {
-	if s, ok := h.llc.lookup(blk); ok {
-		h.llc.state[s] = 0
+	if s := h.slotOf(blk); s >= 0 {
+		h.llc.setState(int(s), 0)
 	}
 	for c := 0; c < h.cfg.Cores; c++ {
 		for l := 0; l < h.npriv; l++ {
 			if s, ok := h.priv[c][l].lookup(blk); ok {
-				h.priv[c][l].state[s] = 0
+				h.priv[c][l].setState(s, 0)
 			}
 		}
 	}
@@ -809,8 +934,8 @@ func (h *Hierarchy) DropAll() {
 }
 
 // Reset returns the hierarchy to its just-constructed state: every level
-// invalidated, the flat store empty with slots handed out in construction
-// order, statistics and the recency clock zeroed. A Reset hierarchy behaves
+// invalidated, the flat store empty, statistics and the recency clock
+// zeroed. A Reset hierarchy behaves
 // identically to a fresh New over the same backing, which is what lets
 // campaign workers reuse one machine per crash test.
 func (h *Hierarchy) Reset() {
@@ -827,7 +952,6 @@ func (h *Hierarchy) Reset() {
 			pc.rng = rngSeed
 		}
 	}
-	h.resetFreeSlots()
 	h.tick = 0
 	h.ResetStats()
 }
@@ -942,8 +1066,9 @@ func (h *Hierarchy) CheckInclusion() error {
 	attached := 0
 	for i, st := range h.llc.state {
 		if st&stValid != 0 {
-			if h.slotOf(h.llc.tags[i]) < 0 {
-				return fmt.Errorf("block %#x valid in LLC but has no value buffer", h.llc.tags[i])
+			if h.slotOf(h.llc.tags[i]) != int32(i) {
+				return fmt.Errorf("block %#x valid in LLC way %d but slot table says %d",
+					h.llc.tags[i], i, h.slotOf(h.llc.tags[i]))
 			}
 		}
 	}
@@ -952,15 +1077,45 @@ func (h *Hierarchy) CheckInclusion() error {
 			continue
 		}
 		attached++
-		if _, ok := h.llc.lookup(uint64(blk)); !ok {
-			return fmt.Errorf("value buffer for block %#x not resident in LLC", blk)
+		if h.llc.state[slot]&stValid == 0 || h.llc.tags[slot] != uint64(blk) {
+			return fmt.Errorf("value buffer for block %#x in slot %d, but that LLC way holds %#x (state %#x)",
+				blk, slot, h.llc.tags[slot], h.llc.state[slot])
 		}
 	}
-	if attached+len(h.freeSlots) != h.llcLines {
-		return fmt.Errorf("slot leak: %d attached + %d free != %d arena slots",
-			attached, len(h.freeSlots), h.llcLines)
+	if v, _ := h.llc.countValid(); attached != v {
+		return fmt.Errorf("slot leak: %d attached != %d valid LLC lines", attached, v)
 	}
 	return nil
+}
+
+// CheckCounters verifies the incremental valid/dirty line counters of every
+// tag array against a full scan and returns an error describing the first
+// mismatch. Used by tests.
+func (h *Hierarchy) CheckCounters() error {
+	check := func(name string, c *cache) error {
+		valid, dirty := 0, 0
+		for _, s := range c.state {
+			if s&stValid != 0 {
+				valid++
+				if s&stDirty != 0 {
+					dirty++
+				}
+			}
+		}
+		if valid != c.valid || dirty != c.dirty {
+			return fmt.Errorf("%s: counters (valid=%d dirty=%d) != scan (valid=%d dirty=%d)",
+				name, c.valid, c.dirty, valid, dirty)
+		}
+		return nil
+	}
+	for ci := range h.priv {
+		for l, pc := range h.priv[ci] {
+			if err := check(fmt.Sprintf("core %d %s", ci, h.cfg.Levels[l].Name), pc); err != nil {
+				return err
+			}
+		}
+	}
+	return check(h.cfg.Levels[h.nlev-1].Name, h.llc)
 }
 
 // Occupancy returns (valid, dirty) line counts per level name for debugging.

@@ -1,21 +1,20 @@
 package cachesim
 
 // Snapshot is a compact copy of a hierarchy's full volatile state: every tag
-// array (tags, state flags, recency ticks, replacement RNG), the free-slot
-// stack (whose order is determinism-load-bearing — it decides which arena
-// slot the next fill claims), the recency clock, the statistics, and the
-// values of the resident blocks. It deliberately does NOT copy the
-// block-number-indexed slot table (NVM-capacity / 64 entries — megabytes for
-// a realistic image): residency is LLC-bounded by inclusion, so the valid LLC
-// lines enumerate every (block, slot) pair, and ResumeFrom replays those into
-// a freshly Reset table instead.
+// array (tags, state flags, recency ticks, replacement RNG), the recency
+// clock, the statistics, and the values of the resident blocks. It
+// deliberately does NOT copy the block-number-indexed slot table
+// (NVM-capacity / 64 entries — megabytes for a realistic image): a block's
+// arena slot IS its LLC way slot, so the restored LLC tag array enumerates
+// every (block, slot) pair and ResumeFrom replays those into a freshly
+// Reset table instead.
 //
 // A Snapshot is immutable once taken and safe to restore into any hierarchy
 // with the same configuration, concurrently with other restores of the same
 // snapshot elsewhere.
 type Snapshot struct {
-	name string // config name, used to reject geometry mismatches
-	tick uint64
+	name  string // config name, used to reject geometry mismatches
+	tick  uint64
 	stats Stats
 
 	// Concatenated per-cache arrays in fixed iteration order: each core's
@@ -25,13 +24,8 @@ type Snapshot struct {
 	lru   []uint64
 	rngs  []uint64
 
-	freeSlots []int32
-
-	// Resident block values, harvested from the valid LLC lines: block
-	// number, the arena slot it occupied, and its BlockSize bytes of data.
-	blks    []uint64
-	slotIDs []int32
-	data    []byte
+	// Resident block values in valid-LLC-line order (ascending way slot).
+	data []byte
 }
 
 // eachCache visits every tag array in the fixed snapshot order.
@@ -60,19 +54,11 @@ func (h *Hierarchy) Snapshot() *Snapshot {
 		s.lru = append(s.lru, c.lru...)
 		s.rngs = append(s.rngs, c.rng)
 	})
-	s.freeSlots = append([]int32(nil), h.freeSlots...)
-
-	resident := h.llcLines - len(h.freeSlots)
-	s.blks = make([]uint64, 0, resident)
-	s.slotIDs = make([]int32, 0, resident)
+	resident, _ := h.llc.countValid()
 	s.data = make([]byte, 0, resident*BlockSize)
 	for i, st := range h.llc.state {
 		if st&stValid != 0 {
-			blk := h.llc.tags[i]
-			slot := h.slots[blk]
-			s.blks = append(s.blks, blk)
-			s.slotIDs = append(s.slotIDs, slot)
-			s.data = append(s.data, h.dataAt(slot)[:]...)
+			s.data = append(s.data, h.dataAt(int32(i))[:]...)
 		}
 	}
 	return s
@@ -81,15 +67,15 @@ func (h *Hierarchy) Snapshot() *Snapshot {
 // ResumeFrom restores a snapshot into the hierarchy, which must be freshly
 // Reset (or just constructed) and share the snapshot's configuration. After
 // the call the hierarchy is state-identical to the one the snapshot was taken
-// from: same residency, same recency order, same free-slot order, same
-// statistics — so a subsequent access sequence behaves identically, write
-// order included. Panics on a dirty target or a geometry mismatch (both are
-// programming errors in the campaign engine).
+// from: same residency, same recency order, same statistics — so a
+// subsequent access sequence behaves identically, write order included.
+// Panics on a dirty target or a geometry mismatch (both are programming
+// errors in the campaign engine).
 func (h *Hierarchy) ResumeFrom(s *Snapshot) {
 	if h.cfg.Name != s.name {
 		panic("cachesim: ResumeFrom across configurations: " + h.cfg.Name + " vs " + s.name)
 	}
-	if len(h.freeSlots) != h.llcLines {
+	if v, _ := h.llc.countValid(); v != 0 {
 		panic("cachesim: ResumeFrom requires a freshly Reset hierarchy")
 	}
 	off, nrng := 0, 0
@@ -99,17 +85,23 @@ func (h *Hierarchy) ResumeFrom(s *Snapshot) {
 		copy(c.state, s.state[off:off+n])
 		copy(c.lru, s.lru[off:off+n])
 		c.rng = s.rngs[nrng]
+		c.recount()
 		nrng++
 		off += n
 	})
 	if off != len(s.tags) {
 		panic("cachesim: ResumeFrom geometry mismatch despite matching config name")
 	}
-	h.freeSlots = append(h.freeSlots[:0], s.freeSlots...)
-	for i, blk := range s.blks {
+	n := 0
+	for i, st := range h.llc.state {
+		if st&stValid == 0 {
+			continue
+		}
+		blk := h.llc.tags[i]
 		h.growSlots(blk + 1)
-		h.slots[blk] = s.slotIDs[i]
-		copy(h.dataAt(s.slotIDs[i])[:], s.data[i*BlockSize:(i+1)*BlockSize])
+		h.slots[blk] = int32(i)
+		copy(h.dataAt(int32(i))[:], s.data[n*BlockSize:(n+1)*BlockSize])
+		n++
 	}
 	h.tick = s.tick
 

@@ -198,6 +198,11 @@ type Config struct {
 	// iterations (paper: verification failure is declared after 2x);
 	// 0 means 2.
 	MaxIterFactor float64
+	// ScalarAccess forces every machine the tester runs down the
+	// per-element scalar access path instead of the batched engine. The two
+	// must be behaviourally indistinguishable; equivalence tests run
+	// campaigns in both modes and compare digests.
+	ScalarAccess bool
 }
 
 func (c Config) withDefaults() Config {
@@ -439,9 +444,12 @@ func (t *Tester) getMachine() *sim.Machine {
 	if v := t.machines.Get(); v != nil {
 		m := v.(*sim.Machine)
 		m.Reset()
+		m.SetScalarAccess(t.cfg.ScalarAccess)
 		return m
 	}
-	return sim.NewMachine(t.cfg.NVMBytes, t.cfg.Cache)
+	m := sim.NewMachine(t.cfg.NVMBytes, t.cfg.Cache)
+	m.SetScalarAccess(t.cfg.ScalarAccess)
+	return m
 }
 
 // putMachine recycles a machine. The machine may be in any post-run state —

@@ -1,0 +1,51 @@
+package nvct_test
+
+import (
+	"testing"
+
+	"easycrash/internal/apps"
+	"easycrash/internal/faultmodel"
+	"easycrash/internal/nvct"
+)
+
+// scalarTester builds a tester that forces the per-element reference access
+// path. It deliberately bypasses the shared tester cache: the whole point is
+// an independent engine configuration.
+func scalarTester(t *testing.T, kernel string) *nvct.Tester {
+	t.Helper()
+	f, err := apps.New(kernel, apps.ProfileTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt, err := nvct.NewTester(f, nvct.Config{ScalarAccess: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tt
+}
+
+// TestScalarAccessCampaignDigestsMatch pins the batched fast paths to the
+// scalar reference at full campaign scale: identical seeds must produce
+// byte-identical reports whether every access walks the hierarchy one
+// element at a time or rides the batched runs and streams. Covers the plain
+// campaign, media faults, and depth-2 nested failure chains.
+func TestScalarAccessCampaignDigestsMatch(t *testing.T) {
+	faults := faultmodel.Config{RBER: 2e-6, TornWrites: true, ECC: faultmodel.SECDED()}
+	policy := nvct.IterationPolicy([]string{"u", "scal"})
+	cases := []struct {
+		label string
+		opts  nvct.CampaignOpts
+	}{
+		{"baseline", nvct.CampaignOpts{Tests: 12, Seed: 41, Parallel: 2}},
+		{"faults", nvct.CampaignOpts{Tests: 12, Seed: 47, Parallel: 2, Faults: faults, ScrubOnRestart: true}},
+		{"nested", nvct.CampaignOpts{Tests: 12, Seed: 43, Parallel: 2, RecrashDepth: 2, Faults: faults, ScrubOnRestart: true}},
+	}
+	scalar := scalarTester(t, "lu")
+	for _, c := range cases {
+		batched := reportDigest(tester(t, "lu").RunCampaign(policy, c.opts))
+		ref := reportDigest(scalar.RunCampaign(policy, c.opts))
+		if batched != ref {
+			t.Errorf("%s: batched campaign digest %s != scalar reference %s", c.label, batched, ref)
+		}
+	}
+}

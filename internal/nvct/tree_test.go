@@ -143,11 +143,11 @@ type tinyKernel struct {
 	it  mem.Object
 }
 
-func (k *tinyKernel) Name() string          { return "tiny" }
-func (k *tinyKernel) Description() string   { return "duplicate-crash-point probe" }
-func (k *tinyKernel) RegionCount() int      { return 1 }
-func (k *tinyKernel) NominalIters() int64   { return 4 }
-func (k *tinyKernel) Convergent() bool      { return false }
+func (k *tinyKernel) Name() string           { return "tiny" }
+func (k *tinyKernel) Description() string    { return "duplicate-crash-point probe" }
+func (k *tinyKernel) RegionCount() int       { return 1 }
+func (k *tinyKernel) NominalIters() int64    { return 4 }
+func (k *tinyKernel) Convergent() bool       { return false }
 func (k *tinyKernel) IterObject() mem.Object { return k.it }
 
 func (k *tinyKernel) Setup(m *sim.Machine) {

@@ -164,7 +164,7 @@ func (s *Store) Setup(m *sim.Machine) {
 // unreadable one.
 func (s *Store) Init(m *sim.Machine) {
 	s.acked, s.replayed, s.recoveryErr = 0, 0, nil
-	mt := m.I64(s.mt)
+	mt := m.I64Stream(s.mt)
 	for k := 0; k < s.nKeys; k++ {
 		mt.Set(k, 0)
 	}
@@ -341,7 +341,7 @@ func (s *Store) replay(m *sim.Machine) (err error) {
 // plus the commit mark. The fold keeps 52 bits so the float64 carries it
 // exactly.
 func (s *Store) Result(m *sim.Machine) []float64 {
-	mt := m.I64(s.mt)
+	mt := m.I64Stream(s.mt)
 	acc := uint64(0x9e3779b97f4a7c15)
 	for k := 0; k < s.nKeys; k++ {
 		acc = mix(acc ^ mix(uint64(k)+1) ^ uint64(mt.At(k)))

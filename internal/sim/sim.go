@@ -130,7 +130,14 @@ type Machine struct {
 	// clear that prefix even though this machine's space never allocated it.
 	resumeExtent uint64
 
-	buf [8]byte
+	// scalarAccess forces the batched accessors (LoadRun/StoreRun and the
+	// stream views) down the per-element scalar path. The batched engine is
+	// proved against this reference mode by the crash-point-sweep and
+	// campaign-digest equivalence tests.
+	scalarAccess bool
+
+	buf    [8]byte
+	runBuf []byte // scratch for the batched run accessors
 }
 
 // DefaultInterruptStride is how many main-loop accesses pass between
@@ -182,6 +189,7 @@ func (m *Machine) Reset() {
 	m.lastWriteSeq = 0
 	m.intrFn, m.intrEvery, m.intrCount = nil, 0, 0
 	m.forkFn = nil
+	m.scalarAccess = false
 	if m.resumeExtent != 0 {
 		// A resumed machine carries restored image bytes beyond its own
 		// space's (empty) allocation extent; clear them too.
